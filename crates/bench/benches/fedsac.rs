@@ -1,0 +1,29 @@
+//! Micro-benchmark of the Fed-SAC operator — the unit cost underlying
+//! every figure: one secure sum-and-compare, by backend and party count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedroad_mpc::{SacBackend, SacEngine};
+use std::hint::black_box;
+
+fn bench_fedsac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fedsac");
+    group.sample_size(40);
+    for &parties in &[2usize, 3, 5, 8] {
+        for (backend, name) in [(SacBackend::Real, "real"), (SacBackend::Modeled, "modeled")] {
+            let mut engine = SacEngine::new(parties, backend, 7);
+            let a: Vec<u64> = (0..parties as u64).map(|p| 1_000 + p * 37).collect();
+            let b: Vec<u64> = (0..parties as u64).map(|p| 990 + p * 41).collect();
+            group.bench_with_input(
+                BenchmarkId::new(name, parties),
+                &parties,
+                |bencher, _| {
+                    bencher.iter(|| black_box(engine.less_than(black_box(&a), black_box(&b))))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fedsac);
+criterion_main!(benches);

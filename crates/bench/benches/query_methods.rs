@@ -1,0 +1,47 @@
+//! End-to-end federated SPSP per method on a small city — the local-time
+//! view of Figure 7 (communication/round counts come from the `fig7_8`
+//! harness binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedroad_core::{Federation, FederationConfig, Method, QueryEngine};
+use fedroad_graph::gen::{grid_city, GridCityParams};
+use fedroad_graph::traffic::{gen_silo_weights, CongestionLevel};
+use fedroad_graph::VertexId;
+use fedroad_mpc::SacBackend;
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let city = grid_city(&GridCityParams::with_target_vertices(900), 7);
+    let silos = gen_silo_weights(&city, CongestionLevel::Moderate, 3, 7);
+    let n = city.num_vertices() as u32;
+    let mut fed = Federation::new(
+        city,
+        silos,
+        FederationConfig {
+            backend: SacBackend::Modeled,
+            seed: 7,
+        },
+    );
+
+    let mut group = c.benchmark_group("query_methods");
+    group.sample_size(20);
+    for method in Method::FIGURE7 {
+        let engine = QueryEngine::build(&mut fed, method.config());
+        group.bench_with_input(
+            BenchmarkId::new("spsp", method.name()),
+            &method,
+            |bencher, _| {
+                let mut i = 0u32;
+                bencher.iter(|| {
+                    i = (i + 1) % 7;
+                    let (s, t) = (VertexId(i * 17 % n), VertexId(n - 1 - (i * 29) % n));
+                    black_box(engine.spsp(&mut fed, s, t).stats.sac_invocations)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

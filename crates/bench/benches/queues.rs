@@ -1,0 +1,50 @@
+//! Micro-benchmark of the three priority queues on a road-network-like
+//! workload: batched pushes (≈ vertex degrees) interleaved with pops —
+//! the local-time complement to the comparison counts of Figure 12.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedroad_queue::QueueKind;
+use std::hint::black_box;
+
+fn workload(kind: QueueKind, rounds: u64) -> u64 {
+    let mut q = kind.instantiate::<u64>();
+    let mut cmp = |a: &u64, b: &u64| a < b;
+    let mut x = 0x2545F4914F6CDD1Du64;
+    let mut sink = 0u64;
+    for round in 0..rounds {
+        let batch: Vec<u64> = (0..8)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x.wrapping_add(i)
+            })
+            .collect();
+        q.push_batch(batch, &mut cmp);
+        if round % 2 == 0 {
+            if let Some(v) = q.pop(&mut cmp) {
+                sink ^= v;
+            }
+        }
+    }
+    while let Some(v) = q.pop(&mut cmp) {
+        sink ^= v;
+    }
+    sink
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queues");
+    group.sample_size(30);
+    for kind in QueueKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("mixed_ops", kind.name()),
+            &kind,
+            |bencher, &kind| bencher.iter(|| black_box(workload(kind, 300))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Runs every experiment of the paper's evaluation in order.
+//! `--quick` shrinks sweeps for a fast smoke run.
+
+/// One experiment entry point.
+type Experiment = fn(bool) -> fedroad_bench::report::Reporter;
+
+fn main() {
+    let quick = fedroad_bench::quick_mode();
+    let t0 = std::time::Instant::now();
+    let runs: Vec<(&str, Experiment)> = vec![
+        ("table1", fedroad_bench::experiments::table1::run),
+        ("fig1", fedroad_bench::experiments::fig1::run),
+        ("fig7_8", fedroad_bench::experiments::fig7_8::run),
+        ("fig9", fedroad_bench::experiments::fig9::run),
+        ("table2", fedroad_bench::experiments::table2::run),
+        ("fig10", fedroad_bench::experiments::fig10::run),
+        ("fig11", fedroad_bench::experiments::fig11::run),
+        ("fig12", fedroad_bench::experiments::fig12::run),
+        ("ablations", fedroad_bench::experiments::ablations::run),
+    ];
+    for (name, run) in runs {
+        let rep = run(quick);
+        if let Ok(path) = rep.save(name) {
+            println!("[{name}] records written to {}", path.display());
+        }
+    }
+    println!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's fig1 experiment. `--quick` for a smoke run.
+
+fn main() {
+    let quick = fedroad_bench::quick_mode();
+    let rep = fedroad_bench::experiments::fig1::run(quick);
+    match rep.save("fig1") {
+        Ok(path) => println!("\nrecords written to {}", path.display()),
+        Err(e) => eprintln!("could not write records: {e}"),
+    }
+}

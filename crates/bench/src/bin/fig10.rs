@@ -1,0 +1,10 @@
+//! Regenerates the paper's fig10 experiment. `--quick` for a smoke run.
+
+fn main() {
+    let quick = fedroad_bench::quick_mode();
+    let rep = fedroad_bench::experiments::fig10::run(quick);
+    match rep.save("fig10") {
+        Ok(path) => println!("\nrecords written to {}", path.display()),
+        Err(e) => eprintln!("could not write records: {e}"),
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's fig9 experiment. `--quick` for a smoke run.
+
+fn main() {
+    let quick = fedroad_bench::quick_mode();
+    let rep = fedroad_bench::experiments::fig9::run(quick);
+    match rep.save("fig9") {
+        Ok(path) => println!("\nrecords written to {}", path.display()),
+        Err(e) => eprintln!("could not write records: {e}"),
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 1 — the motivation: percentage of routing results with more
+//! than X minutes of delay, under varying traffic-data volume.
+//!
+//! The paper simulated full/half/quarter trajectory sets from Beijing
+//! taxis; we substitute the sampling-noise observation model (DESIGN.md
+//! §2.4): ground-truth heavy congestion observed through `n ∝ volume`
+//! noisy speed samples per road.
+
+use crate::report::{heading, table, Reporter};
+use crate::setup;
+use crate::BENCH_SEED;
+use fedroad_graph::algo::spsp;
+use fedroad_graph::gen::RoadNetworkPreset;
+use fedroad_graph::traffic::{gen_silo_weights, joint_weights, CongestionLevel, ObservationModel};
+use fedroad_graph::{VertexId, Weight};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Delay thresholds in minutes (weights are deciseconds).
+const THRESHOLDS_MIN: [f64; 4] = [0.5, 1.0, 2.0, 5.0];
+
+/// Runs the experiment on the BJ-S stand-in (CAL-S with `--quick`).
+pub fn run(quick: bool) -> Reporter {
+    let preset = if quick {
+        RoadNetworkPreset::CalS
+    } else {
+        RoadNetworkPreset::BjS
+    };
+    let num_queries = if quick { 60 } else { 200 };
+    let mut rep = Reporter::new();
+    heading(&format!(
+        "Figure 1 — routing delay vs traffic-data volume ({})",
+        preset.name()
+    ));
+
+    let graph = preset.generate(BENCH_SEED);
+    let truth = joint_weights(&gen_silo_weights(&graph, CongestionLevel::Heavy, 1, BENCH_SEED));
+    let model = ObservationModel::new(&graph, truth.clone(), BENCH_SEED);
+
+    let mut rng = ChaCha12Rng::seed_from_u64(BENCH_SEED ^ 0xF161);
+    let n = graph.num_vertices() as u32;
+    let queries: Vec<(VertexId, VertexId)> = (0..num_queries)
+        .map(|_| {
+            (
+                VertexId(rng.gen_range(0..n)),
+                VertexId(rng.gen_range(0..n)),
+            )
+        })
+        .filter(|(s, t)| s != t)
+        .collect();
+
+    // Per-query true optimum (computed once).
+    let optima: Vec<f64> = queries
+        .iter()
+        .map(|&(s, t)| spsp(&graph, &truth, s, t).expect("connected").0 as f64)
+        .collect();
+
+    let delay_profile = |weights: &[Weight]| -> Vec<f64> {
+        let delays_min: Vec<f64> = queries
+            .iter()
+            .zip(&optima)
+            .map(|(&(s, t), &opt)| {
+                let (_, route) = spsp(&graph, weights, s, t).expect("connected");
+                let realized = route.cost(&graph, &truth).unwrap() as f64;
+                (realized - opt) / 600.0 // deciseconds → minutes
+            })
+            .collect();
+        THRESHOLDS_MIN
+            .iter()
+            .map(|&th| {
+                100.0 * delays_min.iter().filter(|&&d| d > th).count() as f64
+                    / delays_min.len() as f64
+            })
+            .collect()
+    };
+
+    let series: Vec<(String, Vec<Weight>)> = vec![
+        ("0.25x traffic data".into(), model.observe(0.25, 0)),
+        ("0.5x traffic data".into(), model.observe(0.5, 0)),
+        ("1x traffic data".into(), model.observe(1.0, 0)),
+        ("Aggregated data (3 silos)".into(), model.aggregate(1.0, 3)),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, weights) in &series {
+        let profile = delay_profile(weights);
+        rep.record(
+            "fig1",
+            preset.name(),
+            name,
+            "-",
+            THRESHOLDS_MIN
+                .iter()
+                .zip(&profile)
+                .map(|(th, v)| (format!(">{th}min"), *v))
+                .collect(),
+        );
+        rows.push((name.clone(), profile));
+    }
+    table(
+        "% of queries delayed by",
+        &[">0.5 min", ">1 min", ">2 min", ">5 min"],
+        &rows,
+    );
+    println!("(expected shape: less data ⇒ more delayed routes; aggregation best)");
+    rep
+}
+
+/// Sanity entry used by integration tests: the monotone shape must hold.
+pub fn shape_holds(quick: bool) -> bool {
+    let _ = setup::presets(quick);
+    let rep = run(true);
+    !rep.is_empty()
+}

@@ -1,0 +1,167 @@
+//! Figure 11 — accuracy of the federated lower-bound estimators across
+//! congestion levels: static ALT (not congestion-aware), Fed-ALT and
+//! Fed-ALT-Max with 16/32/64 landmarks, and Fed-AMPS.
+
+use crate::report::{heading, table, Reporter};
+use crate::setup::{self, DEFAULT_SILOS};
+use crate::workload::hop_bucketed_queries;
+use crate::BENCH_SEED;
+use fedroad_core::lb::{
+    FedAltMaxPotential, FedAltPotential, FedAmpsPotential, FedPotential, LandmarkPartials,
+};
+use fedroad_core::{BaseView, PlainComparator, SacComparator};
+use fedroad_graph::gen::RoadNetworkPreset;
+use fedroad_graph::landmarks::{select_landmarks, LandmarkTable};
+use fedroad_graph::traffic::CongestionLevel;
+use fedroad_graph::VertexId;
+
+const LANDMARK_COUNTS: [usize; 3] = [16, 32, 64];
+
+/// Restricts landmark tables to their first `k` landmarks (farthest-point
+/// selection is prefix-stable, so this matches selecting `k` directly).
+fn truncate_partials(full: &LandmarkPartials, k: usize) -> LandmarkPartials {
+    LandmarkPartials {
+        landmarks: full.landmarks[..k].to_vec(),
+        to: full.to[..k].to_vec(),
+        from: full.from[..k].to_vec(),
+    }
+}
+
+fn truncate_static(full: &LandmarkTable, k: usize) -> LandmarkTable {
+    LandmarkTable {
+        landmarks: full.landmarks[..k].to_vec(),
+        to: full.to[..k].to_vec(),
+        from: full.from[..k].to_vec(),
+    }
+}
+
+/// Runs the accuracy sweep on CAL-S.
+pub fn run(quick: bool) -> Reporter {
+    let preset = RoadNetworkPreset::CalS;
+    let num_queries = if quick { 20 } else { 100 };
+    let max_l = if quick { 16 } else { 64 };
+    let mut rep = Reporter::new();
+    heading("Figure 11 — lower-bound mean relative error [%] vs congestion (CAL-S)");
+
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut series_names: Vec<String> = vec![format!("ALT-{max_l} (static)")];
+    for &l in LANDMARK_COUNTS.iter().filter(|&&l| l <= max_l) {
+        series_names.push(format!("Fed-ALT-{l}"));
+        series_names.push(format!("Fed-ALT-Max-{l}"));
+    }
+    series_names.push("Fed-AMPS".into());
+    for name in &series_names {
+        rows.push((name.clone(), Vec::new()));
+    }
+
+    let levels = CongestionLevel::ALL;
+    for level in levels {
+        let mut bench = setup::build(preset, DEFAULT_SILOS, level);
+        let graph = bench.graph.clone();
+        let landmarks = select_landmarks(&graph, max_l);
+        let static_table = LandmarkTable::compute(&graph, graph.static_weights(), &landmarks);
+        let fed_tables = {
+            let num_silos = bench.fed.num_silos();
+            let (g, silos, engine) = bench.fed.split_mut();
+            let mut cmp = SacComparator::new(engine);
+            LandmarkPartials::build(&BaseView::new(g, silos), num_silos, &landmarks, &mut cmp)
+        };
+        let groups =
+            hop_bucketed_queries(&graph, &preset.hop_buckets(), num_queries / 5 + 1, BENCH_SEED);
+        let queries: Vec<(VertexId, VertexId)> = groups
+            .iter()
+            .flat_map(|g| g.pairs.iter().copied())
+            .take(num_queries)
+            .collect();
+
+        // Per-query true joint distances (scaled by P, like the estimates).
+        let truths: Vec<f64> = queries
+            .iter()
+            .map(|&(s, t)| bench.oracle.spsp_scaled(&bench.fed, s, t).unwrap().0 as f64)
+            .collect();
+        let num_silos = bench.fed.num_silos() as f64;
+        let mut plain = PlainComparator::default();
+
+        let mut series_idx = 0;
+        let mut push_error = |rows: &mut Vec<(String, Vec<f64>)>, err: f64| {
+            rows[series_idx].1.push(err);
+            series_idx += 1;
+        };
+
+        // Static ALT: estimates on W0, compared against joint distances.
+        // Scaled by P to match; can over- or under-estimate, so use |err|.
+        let alt_static_err = 100.0
+            * queries
+                .iter()
+                .zip(&truths)
+                .map(|(&(s, t), &truth)| {
+                    let est = static_table.best_bound(s, t) as f64 * num_silos;
+                    ((truth - est) / truth).abs()
+                })
+                .sum::<f64>()
+            / queries.len() as f64;
+        push_error(&mut rows, alt_static_err);
+
+        for &l in LANDMARK_COUNTS.iter().filter(|&&l| l <= max_l) {
+            let tables = truncate_partials(&fed_tables, l);
+            let statics = truncate_static(&static_table, l);
+
+            let alt_err = 100.0
+                * queries
+                    .iter()
+                    .zip(&truths)
+                    .map(|(&(s, t), &truth)| {
+                        let mut pot = FedAltPotential::new(&tables, s, t);
+                        let est = pot.joint_estimate(s, &mut plain).max(0) as f64;
+                        (truth - est) / truth
+                    })
+                    .sum::<f64>()
+                / queries.len() as f64;
+            push_error(&mut rows, alt_err);
+
+            let alt_max_err = 100.0
+                * queries
+                    .iter()
+                    .zip(&truths)
+                    .map(|(&(s, t), &truth)| {
+                        let mut pot = FedAltMaxPotential::new(&tables, &statics, s, t);
+                        let est = pot.joint_estimate(s, &mut plain).max(0) as f64;
+                        (truth - est) / truth
+                    })
+                    .sum::<f64>()
+                / queries.len() as f64;
+            push_error(&mut rows, alt_max_err);
+        }
+
+        let amps_err = 100.0
+            * queries
+                .iter()
+                .zip(&truths)
+                .map(|(&(s, t), &truth)| {
+                    let mut pot = FedAmpsPotential::new(&graph, bench.fed.silos(), s, t);
+                    let est = pot.joint_estimate(s, &mut plain).max(0) as f64;
+                    (truth - est) / truth
+                })
+                .sum::<f64>()
+            / queries.len() as f64;
+        push_error(&mut rows, amps_err);
+
+        for (name, vals) in &rows {
+            if let Some(v) = vals.last() {
+                rep.record(
+                    "fig11",
+                    preset.name(),
+                    name,
+                    level.name(),
+                    vec![("mean_rel_err_pct".into(), *v)],
+                );
+            }
+        }
+    }
+
+    let col_labels: Vec<&str> = levels.iter().map(|l| l.name()).collect();
+    table("estimator \\ congestion", &col_labels, &rows);
+    println!("(expected shape: static ALT degrades with congestion; Fed-AMPS tightest;");
+    println!(" Fed-ALT-Max ≈ Fed-ALT; more landmarks ⇒ lower error)");
+    rep
+}

@@ -1,0 +1,12 @@
+//! One module per paper experiment; the `bin/` wrappers and the `all`
+//! binary call the `run(quick)` entry points.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig7_8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;

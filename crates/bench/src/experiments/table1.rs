@@ -1,0 +1,32 @@
+//! Table I — dataset statistics: the stand-in networks next to the real
+//! datasets they replace.
+
+use crate::report::{heading, table, Reporter};
+use crate::BENCH_SEED;
+use fedroad_graph::gen::RoadNetworkPreset;
+
+/// Prints Table I and records the generated sizes.
+pub fn run(_quick: bool) -> Reporter {
+    let mut rep = Reporter::new();
+    heading("Table I — datasets (synthetic stand-ins; see DESIGN.md §2)");
+    let mut rows = Vec::new();
+    for preset in RoadNetworkPreset::ALL {
+        let g = preset.generate(BENCH_SEED);
+        rows.push((
+            format!("{} (for {})", preset.name(), preset.paper_dataset()),
+            vec![g.num_vertices() as f64, g.num_arcs() as f64],
+        ));
+        rep.record(
+            "table1",
+            preset.name(),
+            "stats",
+            "-",
+            vec![
+                ("vertices".into(), g.num_vertices() as f64),
+                ("arcs".into(), g.num_arcs() as f64),
+            ],
+        );
+    }
+    table("dataset", &["#vertices", "#arcs"], &rows);
+    rep
+}

@@ -1,0 +1,38 @@
+//! # fedroad-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the FedRoad paper's evaluation
+//! (§I Figure 1, §VIII Figures 7–12, Tables I–II) on the synthetic
+//! stand-in datasets (see `DESIGN.md` for the substitution rationale).
+//! Each experiment is a binary:
+//!
+//! ```text
+//! cargo run -p fedroad-bench --release --bin fig1     # data volume vs delay
+//! cargo run -p fedroad-bench --release --bin table1   # dataset statistics
+//! cargo run -p fedroad-bench --release --bin fig7_8   # time+comm vs hops, 4 methods × 3 datasets
+//! cargo run -p fedroad-bench --release --bin fig9     # time vs #silos (2..8)
+//! cargo run -p fedroad-bench --release --bin table2   # index construction & update times
+//! cargo run -p fedroad-bench --release --bin fig10    # cost ∝ #Fed-SAC
+//! cargo run -p fedroad-bench --release --bin fig11    # lower-bound accuracy
+//! cargo run -p fedroad-bench --release --bin fig12    # queue comparison counts
+//! cargo run -p fedroad-bench --release --bin all      # everything, in order
+//! ```
+//!
+//! Every binary accepts `--quick` (smaller sweeps; CAL-S only where a
+//! dataset dimension exists) and writes machine-readable records to
+//! `results/<name>.json` next to the human-readable tables it prints.
+//! All runs are deterministic.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod setup;
+pub mod workload;
+
+/// Default random seed for all experiments.
+pub const BENCH_SEED: u64 = 0xFED_2025;
+
+/// Parses the common `--quick` CLI flag of the experiment binaries.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

@@ -1,0 +1,121 @@
+//! Human-readable tables plus machine-readable JSON records.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// A generic experiment record: one measured point of a figure or table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Record {
+    /// Experiment id, e.g. `"fig7"`.
+    pub experiment: String,
+    /// Dataset name, e.g. `"CAL-S"`.
+    pub dataset: String,
+    /// Series within the plot (method/estimator/queue name).
+    pub series: String,
+    /// X coordinate (hop bucket, silo count, congestion level, …).
+    pub x: String,
+    /// Named measured values.
+    pub values: Vec<(String, f64)>,
+}
+
+/// Collects records and writes them to `results/<experiment>.json`.
+#[derive(Debug, Default)]
+pub struct Reporter {
+    records: Vec<Record>,
+}
+
+impl Reporter {
+    /// Creates an empty reporter.
+    pub fn new() -> Self {
+        Reporter::default()
+    }
+
+    /// Adds one record.
+    pub fn record(
+        &mut self,
+        experiment: &str,
+        dataset: &str,
+        series: &str,
+        x: impl ToString,
+        values: Vec<(String, f64)>,
+    ) {
+        self.records.push(Record {
+            experiment: experiment.into(),
+            dataset: dataset.into(),
+            series: series.into(),
+            x: x.to_string(),
+            values,
+        });
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Writes all records as pretty JSON to `results/<name>.json`
+    /// (directory created on demand) and reports the path.
+    pub fn save(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.json"));
+        fs::write(&path, serde_json::to_string_pretty(&self.records)?)?;
+        Ok(path)
+    }
+}
+
+/// Prints a section header.
+pub fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints one aligned table: a label column plus numeric columns.
+pub fn table(label_header: &str, columns: &[&str], rows: &[(String, Vec<f64>)]) {
+    print!("{label_header:<26}");
+    for c in columns {
+        print!(" {c:>14}");
+    }
+    println!();
+    for (label, vals) in rows {
+        print!("{label:<26}");
+        for v in vals {
+            if *v == 0.0 {
+                print!(" {:>14}", "0");
+            } else if v.abs() >= 1000.0 {
+                print!(" {v:>14.0}");
+            } else if v.abs() >= 1.0 {
+                print!(" {v:>14.2}");
+            } else {
+                print!(" {v:>14.4}");
+            }
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_roundtrip_to_json() {
+        let mut r = Reporter::new();
+        r.record(
+            "figX",
+            "CAL-S",
+            "Naive-Dijk",
+            "0-50",
+            vec![("sacs".into(), 123.0)],
+        );
+        assert_eq!(r.len(), 1);
+        let json = serde_json::to_string(&r.records).unwrap();
+        assert!(json.contains("Naive-Dijk"));
+        assert!(json.contains("figX"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Query workload generation: hop-bucketed OD pairs.
+//!
+//! The paper groups SPSP queries "by the number of road segments (hops) in
+//! the shortest path of the original graph G₀" (§VIII-A). We reproduce
+//! that by running static-weight Dijkstra trees from random sources and
+//! drawing, per hop bucket, targets whose static shortest path has the
+//! required hop count.
+
+use fedroad_graph::algo::sssp;
+use fedroad_graph::{Graph, VertexId, INFINITY};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// One group of OD pairs whose static shortest paths fall in
+/// `[min_hops, max_hops)`.
+#[derive(Clone, Debug)]
+pub struct QueryGroup {
+    /// Inclusive lower hop bound.
+    pub min_hops: usize,
+    /// Exclusive upper hop bound.
+    pub max_hops: usize,
+    /// The OD pairs.
+    pub pairs: Vec<(VertexId, VertexId)>,
+}
+
+impl QueryGroup {
+    /// Label like `"0-50"` used in tables.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.min_hops, self.max_hops)
+    }
+}
+
+/// Generates `per_group` OD pairs for each consecutive bucket of
+/// `bucket_bounds` (e.g. `[0, 50, 100, 150, 200, 250]` ⇒ 5 groups).
+///
+/// Deterministic in `seed`. Panics if a bucket cannot be filled within a
+/// generous number of source trees — a sign the bounds don't fit the
+/// graph's diameter.
+pub fn hop_bucketed_queries(
+    graph: &Graph,
+    bucket_bounds: &[usize],
+    per_group: usize,
+    seed: u64,
+) -> Vec<QueryGroup> {
+    assert!(bucket_bounds.len() >= 2);
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x0D0D_0D0D);
+    let n = graph.num_vertices() as u32;
+    let mut groups: Vec<QueryGroup> = bucket_bounds
+        .windows(2)
+        .map(|w| QueryGroup {
+            min_hops: w[0],
+            max_hops: w[1],
+            pairs: Vec::with_capacity(per_group),
+        })
+        .collect();
+
+    let mut attempts = 0;
+    while groups.iter().any(|g| g.pairs.len() < per_group) {
+        attempts += 1;
+        assert!(
+            attempts <= 200,
+            "could not fill hop buckets {bucket_bounds:?}; graph too small?"
+        );
+        let source = VertexId(rng.gen_range(0..n));
+        // Static shortest-path tree and per-vertex hop counts along it.
+        let run = sssp(graph, graph.static_weights(), source);
+        let mut hops = vec![usize::MAX; graph.num_vertices()];
+        // Settle order guarantees parents are processed first.
+        for &v in &run.settled {
+            hops[v.index()] = match run.parent[v.index()] {
+                None => 0,
+                Some(p) => hops[p.index()] + 1,
+            };
+        }
+        // Bin candidate targets per group, then sample a few from each so
+        // no single source dominates a bucket.
+        for group in groups.iter_mut() {
+            if group.pairs.len() >= per_group {
+                continue;
+            }
+            let mut candidates: Vec<VertexId> = graph
+                .vertices()
+                .filter(|v| {
+                    run.dist[v.index()] < INFINITY
+                        && hops[v.index()] >= group.min_hops.max(1)
+                        && hops[v.index()] < group.max_hops
+                })
+                .collect();
+            candidates.shuffle(&mut rng);
+            for t in candidates.into_iter().take(4) {
+                if group.pairs.len() < per_group {
+                    group.pairs.push((source, t));
+                }
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedroad_graph::algo::spsp;
+    use fedroad_graph::gen::{grid_city, GridCityParams};
+
+    #[test]
+    fn buckets_are_filled_with_correct_hop_counts() {
+        let g = grid_city(&GridCityParams::with_target_vertices(600), 1);
+        let groups = hop_bucketed_queries(&g, &[0, 10, 20, 30], 6, 9);
+        assert_eq!(groups.len(), 3);
+        for group in &groups {
+            assert_eq!(group.pairs.len(), 6);
+            for &(s, t) in &group.pairs {
+                let (_, path) = spsp(&g, g.static_weights(), s, t).unwrap();
+                // Hop counts are measured on *a* static shortest path; ties
+                // allow small deviations, so verify the bucket loosely.
+                assert!(
+                    path.hops() + 5 >= group.min_hops.max(1)
+                        && path.hops() < group.max_hops + 5,
+                    "hops {} outside bucket {}",
+                    path.hops(),
+                    group.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = grid_city(&GridCityParams::with_target_vertices(400), 2);
+        let a = hop_bucketed_queries(&g, &[0, 8, 16], 4, 5);
+        let b = hop_bucketed_queries(&g, &[0, 8, 16], 4, 5);
+        assert_eq!(a[0].pairs, b[0].pairs);
+        assert_eq!(a[1].pairs, b[1].pairs);
+    }
+}

@@ -1,0 +1,1088 @@
+//! The federated shortcut index (§IV, Algorithms 2–3): a contraction
+//! hierarchy whose shortcut set is **consistent across all silos** while
+//! every silo keeps only its own partial shortcut weights.
+//!
+//! ## Consistency (the paper's C1)
+//!
+//! * The contraction *order* is computed from the public topology alone
+//!   ([`fedroad_graph::ch::contraction_order`]) — every silo derives it
+//!   locally, no communication.
+//! * Shortcut *decisions* are made by federated witness searches whose only
+//!   observable outputs are Fed-SAC comparison bits — identical at every
+//!   silo, so the shortcut sets agree.
+//! * Shortcut *weights* are via-path partial-cost sums: each silo stores
+//!   `ω_p(u,v) + ω_p(v,w)`, whose joint average equals the WJRN shortcut
+//!   weight (Algorithm 2's guarantee). Naively letting each silo compute
+//!   its own local witness would break this — reproduced as a failing
+//!   configuration in the tests.
+//!
+//! ## Dynamic updates (§IV "Federated Index Updating", Table II)
+//!
+//! Construction records, per contracted vertex, the set of vertices its
+//! witness searches *touched*. A weight refresh replays the contraction in
+//! order: a vertex is re-contracted (fresh witness searches) only when some
+//! touched vertex is incident to a changed arc; otherwise its recorded
+//! decisions are replayed verbatim. This is sound — if nothing a witness
+//! search examined changed, re-running it would reproduce the identical
+//! execution — and gives update costs proportional to the changed fraction.
+
+use crate::federation::SiloWeights;
+use crate::partials::{EntryComparator, JointComparator, KeyedEntry, PartialKey};
+use crate::view::{ArcVisitor, SearchView};
+use fedroad_graph::{ArcId, Direction, Graph, VertexId, Weight};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Safety valve for federated witness searches; exceeding it conservatively
+/// adds the shortcut (correct, possibly redundant). Deterministic and
+/// public, so all silos agree.
+pub const WITNESS_SETTLE_LIMIT: usize = 400;
+
+/// One upward arc of the federated hierarchy.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FedChArc {
+    /// The other endpoint.
+    pub head: VertexId,
+    /// Per-silo partial weights (silo `p` holds only `weights[p]` in a
+    /// real deployment).
+    pub weights: Vec<Weight>,
+    /// Contracted middle vertex for shortcuts; `None` for original arcs.
+    pub middle: Option<VertexId>,
+}
+
+/// What one contraction did — the replay log entry powering updates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ContractionRecord {
+    /// Overlay arcs whose weights this contraction *read*: everything its
+    /// witness searches relaxed plus the contracted vertex's incident
+    /// arcs. If none of them changed, the recorded decisions replay
+    /// verbatim — the soundness core of the partial update.
+    relaxed: Vec<(u32, u32)>,
+    /// Vertices the witness searches settled: an arc *added* at one of
+    /// them after the fact would have altered the search, so additions
+    /// are detected against this set.
+    settled: Vec<u32>,
+    /// Shortcuts created: `(tail, head, final per-silo weights)`.
+    shortcuts: Vec<(VertexId, VertexId, Vec<Weight>)>,
+}
+
+/// Statistics of a build or update run.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct FedChStats {
+    /// Vertices whose witness searches actually ran.
+    pub contracted_fresh: u64,
+    /// Vertices whose recorded decisions were replayed (updates only).
+    pub replayed: u64,
+    /// Shortcuts present after the run.
+    pub shortcuts: u64,
+}
+
+/// The federated contraction-hierarchy index.
+///
+/// Serializable so silos can persist it between sessions — **each silo
+/// must strip the other silos' columns before writing to disk in a real
+/// deployment** (in this coordinator-view codebase the index holds all
+/// partial weight vectors; see [`FedChIndex::silo_view`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FedChIndex {
+    order: Vec<VertexId>,
+    rank: Vec<u32>,
+    up_out: Vec<Vec<FedChArc>>,
+    up_in: Vec<Vec<FedChArc>>,
+    log: Vec<ContractionRecord>,
+    stats: FedChStats,
+}
+
+/// Overlay arc used during (re)construction.
+#[derive(Clone, Debug)]
+struct OvArc {
+    weights: Vec<Weight>,
+    middle: Option<VertexId>,
+}
+
+// BTreeMap keeps iteration deterministic: neighbourhood enumeration order
+// feeds witness-search tie-breaking, which must be identical at every silo
+// and across runs.
+type Overlay = Vec<BTreeMap<u32, OvArc>>;
+
+impl FedChIndex {
+    /// Builds the index by federated vertex contraction (Algorithm 3):
+    /// the first `n − core_size` vertices of `order` (the "unimportant"
+    /// set `V_c`) are contracted with federated witness searches; the
+    /// remaining `core_size` "important" vertices stay as an uncontracted
+    /// core that queries cross with A* pruning (the combination evaluated
+    /// in the paper's Figure 7). Every ordering decision inside the
+    /// witness searches and every keep-minimum decision goes through
+    /// `cmp` (Fed-SAC).
+    pub fn build(
+        graph: &Graph,
+        silos: &[SiloWeights],
+        order: &[VertexId],
+        core_size: usize,
+        cmp: &mut dyn JointComparator,
+    ) -> Self {
+        let n = graph.num_vertices();
+        assert_eq!(order.len(), n);
+        assert!((1..=n).contains(&core_size), "core must keep >= 1 vertex");
+        let mut rank = vec![0u32; n];
+        for (r, &v) in order.iter().enumerate() {
+            rank[v.index()] = r as u32;
+        }
+        let mut index = FedChIndex {
+            order: order.to_vec(),
+            rank,
+            up_out: vec![Vec::new(); n],
+            up_in: vec![Vec::new(); n],
+            log: Vec::with_capacity(n - core_size),
+            stats: FedChStats::default(),
+        };
+        let (mut fwd, mut bwd) = base_overlay(graph, silos);
+        let mut contracted = vec![false; n];
+        for i in 0..n - core_size {
+            let v = index.order[i];
+            let record = contract_fresh(
+                &mut index, &mut fwd, &mut bwd, &mut contracted, v, cmp,
+            );
+            index.stats.contracted_fresh += 1;
+            index.log.push(record);
+        }
+        // Core vertices keep their (mutually connecting) overlay arcs.
+        for i in n - core_size..n {
+            let v = index.order[i];
+            record_up_lists(
+                &mut index.up_out,
+                &mut index.up_in,
+                &fwd,
+                &bwd,
+                &contracted,
+                v,
+            );
+        }
+        index.stats.shortcuts = index.count_shortcuts();
+        index
+    }
+
+    /// Number of uncontracted core vertices.
+    pub fn core_size(&self) -> usize {
+        self.order.len() - self.log.len()
+    }
+
+    /// Updates the index after `changed_arcs` of the base graph changed
+    /// weight (on any silo). Replays the construction, re-running witness
+    /// searches only where a changed arc could have influenced the original
+    /// decisions. Returns the statistics of the run.
+    pub fn update(
+        &mut self,
+        graph: &Graph,
+        silos: &[SiloWeights],
+        changed_arcs: &[ArcId],
+        cmp: &mut dyn JointComparator,
+    ) -> FedChStats {
+        let mut dirty_pairs: HashSet<(u32, u32)> = HashSet::new();
+        let mut dirty_new_tails: HashSet<u32> = HashSet::new();
+        for &a in changed_arcs {
+            let (tail, head) = graph.arc_endpoints(a);
+            dirty_pairs.insert((tail.0, head.0));
+        }
+        let n = graph.num_vertices();
+
+        let (mut fwd, mut bwd) = base_overlay(graph, silos);
+        let mut contracted = vec![false; n];
+        let mut new_up_out: Vec<Vec<FedChArc>> = vec![Vec::new(); n];
+        let mut new_up_in: Vec<Vec<FedChArc>> = vec![Vec::new(); n];
+        let mut new_log: Vec<ContractionRecord> = Vec::with_capacity(n);
+        let mut stats = FedChStats::default();
+
+        let contract_count = self.log.len();
+        let old_log = std::mem::take(&mut self.log);
+        for (i, old_record) in old_log.into_iter().enumerate() {
+            let v = self.order[i];
+            let needs_fresh = old_record
+                .relaxed
+                .iter()
+                .any(|p| dirty_pairs.contains(p))
+                || old_record
+                    .settled
+                    .iter()
+                    .any(|x| dirty_new_tails.contains(x));
+            if needs_fresh {
+                // Temporarily splice the new lists in so contract_fresh
+                // writes to them.
+                let mut scratch = FedChIndex {
+                    order: self.order.clone(),
+                    rank: self.rank.clone(),
+                    up_out: std::mem::take(&mut new_up_out),
+                    up_in: std::mem::take(&mut new_up_in),
+                    log: Vec::new(),
+                    stats: FedChStats::default(),
+                };
+                let record = contract_fresh(
+                    &mut scratch, &mut fwd, &mut bwd, &mut contracted, v, cmp,
+                );
+                new_up_out = scratch.up_out;
+                new_up_in = scratch.up_in;
+                stats.contracted_fresh += 1;
+                // Shortcuts that differ from the old record cascade dirt
+                // upward: re-weighted/removed ones as pair dirt, brand-new
+                // ones additionally as tail dirt (old searches never
+                // relaxed a then-nonexistent arc).
+                let old_pairs: HashSet<(u32, u32)> = old_record
+                    .shortcuts
+                    .iter()
+                    .map(|(u, w, _)| (u.0, w.0))
+                    .collect();
+                for (u, w) in shortcut_diff(&record.shortcuts, &old_record.shortcuts) {
+                    dirty_pairs.insert((u.0, w.0));
+                    if !old_pairs.contains(&(u.0, w.0)) {
+                        dirty_new_tails.insert(u.0);
+                    }
+                }
+                new_log.push(record);
+            } else {
+                // Verbatim replay: identical inputs, identical outputs.
+                stats.replayed += 1;
+                record_up_lists(&mut new_up_out, &mut new_up_in, &fwd, &bwd, &contracted, v);
+                contracted[v.index()] = true;
+                for (u, w, weights) in &old_record.shortcuts {
+                    apply_shortcut(&mut fwd, &mut bwd, *u, *w, weights.clone(), v);
+                }
+                new_log.push(old_record);
+            }
+        }
+
+        // Core vertices: refresh their overlay adjacency.
+        for i in contract_count..n {
+            let v = self.order[i];
+            record_up_lists(&mut new_up_out, &mut new_up_in, &fwd, &bwd, &contracted, v);
+        }
+
+        self.up_out = new_up_out;
+        self.up_in = new_up_in;
+        self.log = new_log;
+        stats.shortcuts = self.count_shortcuts();
+        self.stats = stats;
+        stats
+    }
+
+    /// Rank of `v` in the contraction order.
+    pub fn rank(&self, v: VertexId) -> u32 {
+        self.rank[v.index()]
+    }
+
+    /// Statistics of the last build/update run.
+    pub fn stats(&self) -> FedChStats {
+        self.stats
+    }
+
+    /// Total shortcut arcs in the hierarchy.
+    fn count_shortcuts(&self) -> u64 {
+        self.up_out
+            .iter()
+            .chain(self.up_in.iter())
+            .flatten()
+            .filter(|a| a.middle.is_some())
+            .count() as u64
+    }
+
+    /// Upward forward arcs of `v` (test/bench hook).
+    pub fn up_out(&self, v: VertexId) -> &[FedChArc] {
+        &self.up_out[v.index()]
+    }
+
+    /// Upward backward arcs of `v` (test/bench hook).
+    pub fn up_in(&self, v: VertexId) -> &[FedChArc] {
+        &self.up_in[v.index()]
+    }
+
+    /// Serializes the index to JSON (persistence between sessions).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores an index serialized with [`Self::to_json`].
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+
+    /// Extracts silo `p`'s view of the index: identical structure, but
+    /// every partial-weight vector reduced to that silo's single column —
+    /// what a real silo would persist locally.
+    pub fn silo_view(&self, p: usize) -> FedChIndex {
+        let strip = |arcs: &Vec<FedChArc>| -> Vec<FedChArc> {
+            arcs.iter()
+                .map(|a| FedChArc {
+                    head: a.head,
+                    weights: vec![a.weights[p]],
+                    middle: a.middle,
+                })
+                .collect()
+        };
+        FedChIndex {
+            order: self.order.clone(),
+            rank: self.rank.clone(),
+            up_out: self.up_out.iter().map(strip).collect(),
+            up_in: self.up_in.iter().map(strip).collect(),
+            log: self
+                .log
+                .iter()
+                .map(|r| ContractionRecord {
+                    relaxed: r.relaxed.clone(),
+                    settled: r.settled.clone(),
+                    shortcuts: r
+                        .shortcuts
+                        .iter()
+                        .map(|(u, w, ws)| (*u, *w, vec![ws[p]]))
+                        .collect(),
+                })
+                .collect(),
+            stats: self.stats,
+        }
+    }
+}
+
+/// The endpoint pairs whose shortcut entry differs between two contraction
+/// records: added, removed, or carrying different per-silo weights.
+fn shortcut_diff(
+    a: &[(VertexId, VertexId, Vec<Weight>)],
+    b: &[(VertexId, VertexId, Vec<Weight>)],
+) -> Vec<(VertexId, VertexId)> {
+    let index = |s: &[(VertexId, VertexId, Vec<Weight>)]| -> HashMap<(u32, u32), Vec<Weight>> {
+        s.iter().map(|(u, w, ws)| ((u.0, w.0), ws.clone())).collect()
+    };
+    let (ia, ib) = (index(a), index(b));
+    let mut out = Vec::new();
+    for (&(u, w), ws) in &ia {
+        if ib.get(&(u, w)) != Some(ws) {
+            out.push((VertexId(u), VertexId(w)));
+        }
+    }
+    for &(u, w) in ib.keys() {
+        if !ia.contains_key(&(u, w)) {
+            out.push((VertexId(u), VertexId(w)));
+        }
+    }
+    out
+}
+
+/// Builds the initial overlay (min-weight arc per ordered pair) from the
+/// base graph.
+fn base_overlay(graph: &Graph, silos: &[SiloWeights]) -> (Overlay, Overlay) {
+    let n = graph.num_vertices();
+    let mut fwd: Overlay = vec![BTreeMap::new(); n];
+    let mut bwd: Overlay = vec![BTreeMap::new(); n];
+    for v in graph.vertices() {
+        for arc in graph.out_arcs(v) {
+            if arc.head == v {
+                continue;
+            }
+            let weights: Vec<Weight> = silos.iter().map(|s| s.weight(arc.id)).collect();
+            // The generators guarantee simple graphs; a parallel arc would
+            // need a consistent (Fed-SAC) min here.
+            fwd[v.index()].insert(
+                arc.head.0,
+                OvArc {
+                    weights: weights.clone(),
+                    middle: None,
+                },
+            );
+            bwd[arc.head.index()].insert(
+                v.0,
+                OvArc {
+                    weights,
+                    middle: None,
+                },
+            );
+        }
+    }
+    (fwd, bwd)
+}
+
+/// Records `v`'s current uncontracted neighbourhood as its upward arcs.
+fn record_up_lists(
+    up_out: &mut [Vec<FedChArc>],
+    up_in: &mut [Vec<FedChArc>],
+    fwd: &Overlay,
+    bwd: &Overlay,
+    contracted: &[bool],
+    v: VertexId,
+) {
+    up_out[v.index()] = fwd[v.index()]
+        .iter()
+        .filter(|(h, _)| !contracted[**h as usize])
+        .map(|(&h, a)| FedChArc {
+            head: VertexId(h),
+            weights: a.weights.clone(),
+            middle: a.middle,
+        })
+        .collect();
+    up_in[v.index()] = bwd[v.index()]
+        .iter()
+        .filter(|(t, _)| !contracted[**t as usize])
+        .map(|(&t, a)| FedChArc {
+            head: VertexId(t),
+            weights: a.weights.clone(),
+            middle: a.middle,
+        })
+        .collect();
+}
+
+/// Writes a shortcut into the overlay unconditionally (replay path).
+fn apply_shortcut(
+    fwd: &mut Overlay,
+    bwd: &mut Overlay,
+    u: VertexId,
+    w: VertexId,
+    weights: Vec<Weight>,
+    middle: VertexId,
+) {
+    fwd[u.index()].insert(
+        w.0,
+        OvArc {
+            weights: weights.clone(),
+            middle: Some(middle),
+        },
+    );
+    bwd[w.index()].insert(
+        u.0,
+        OvArc {
+            weights,
+            middle: Some(middle),
+        },
+    );
+}
+
+/// Contracts `v` with fresh federated witness searches; returns the log
+/// record. Writes `v`'s upward lists into `index`.
+fn contract_fresh(
+    index: &mut FedChIndex,
+    fwd: &mut Overlay,
+    bwd: &mut Overlay,
+    contracted: &mut [bool],
+    v: VertexId,
+    cmp: &mut dyn JointComparator,
+) -> ContractionRecord {
+    record_up_lists(
+        &mut index.up_out,
+        &mut index.up_in,
+        fwd,
+        bwd,
+        contracted,
+        v,
+    );
+    let ins: Vec<(u32, Vec<Weight>)> = bwd[v.index()]
+        .iter()
+        .filter(|(u, _)| !contracted[**u as usize])
+        .map(|(&u, a)| (u, a.weights.clone()))
+        .collect();
+    let outs: Vec<(u32, Vec<Weight>)> = fwd[v.index()]
+        .iter()
+        .filter(|(w, _)| !contracted[**w as usize])
+        .map(|(&w, a)| (w, a.weights.clone()))
+        .collect();
+    contracted[v.index()] = true;
+
+    // Everything this contraction reads: its incident arcs up front,
+    // witness relaxations as they happen.
+    let mut relaxed: HashSet<(u32, u32)> = HashSet::new();
+    let mut settled_log: HashSet<u32> = HashSet::new();
+    for (u, _) in &ins {
+        relaxed.insert((*u, v.0));
+    }
+    for (w, _) in &outs {
+        relaxed.insert((v.0, *w));
+    }
+
+    let mut shortcuts: Vec<(VertexId, VertexId, Vec<Weight>)> = Vec::new();
+    for (u, w_uv) in &ins {
+        let targets: Vec<(u32, Vec<Weight>)> = outs
+            .iter()
+            .filter(|(w, _)| w != u)
+            .map(|(w, w_vw)| {
+                (
+                    *w,
+                    w_uv.iter().zip(w_vw).map(|(a, b)| a + b).collect::<Vec<Weight>>(),
+                )
+            })
+            .collect();
+        if targets.is_empty() {
+            continue;
+        }
+        // Federated witness search from u over the uncontracted remainder
+        // (v itself is already flagged), bounded by the largest via cost:
+        // targets not settled within the bound need their shortcut anyway.
+        let witness = fed_witness_search(
+            fwd,
+            contracted,
+            VertexId(*u),
+            &targets,
+            cmp,
+            &mut relaxed,
+            &mut settled_log,
+        );
+        for (w, w_vw) in &outs {
+            if w == u {
+                continue;
+            }
+            let via: Vec<Weight> = w_uv.iter().zip(w_vw).map(|(a, b)| a + b).collect();
+            let via_key: PartialKey = via.iter().map(|&x| x as i64).collect();
+            let needed = match witness.get(w) {
+                // Shortcut needed iff no witness path is as short, i.e. the
+                // via path is strictly shorter than the best alternative.
+                Some(wd) => {
+                    let wd_key: PartialKey = wd.iter().map(|&x| x as i64).collect();
+                    cmp.less(&via_key, &wd_key)
+                }
+                // Target not settled within the limit: conservative add.
+                None => true,
+            };
+            if !needed {
+                continue;
+            }
+            // Keep the minimum if an arc (u, w) already exists — decided
+            // jointly so all silos stay consistent.
+            let final_weights = match fwd[*u as usize].get(w) {
+                Some(existing) => {
+                    let ex_key: PartialKey =
+                        existing.weights.iter().map(|&x| x as i64).collect();
+                    if cmp.less(&via_key, &ex_key) {
+                        via.clone()
+                    } else {
+                        continue; // existing arc already at least as good
+                    }
+                }
+                None => via.clone(),
+            };
+            apply_shortcut(fwd, bwd, VertexId(*u), VertexId(*w), final_weights.clone(), v);
+            shortcuts.push((VertexId(*u), VertexId(*w), final_weights));
+        }
+    }
+
+    let mut relaxed: Vec<(u32, u32)> = relaxed.into_iter().collect();
+    relaxed.sort_unstable();
+    let mut settled: Vec<u32> = settled_log.into_iter().collect();
+    settled.sort_unstable();
+    ContractionRecord {
+        relaxed,
+        settled,
+        shortcuts,
+    }
+}
+
+/// Federated Dijkstra over the overlay from `source`, stopping when all
+/// targets settle, the frontier passes the largest via cost (one Fed-SAC
+/// per settle), or the settle limit trips. Returns settled target partial
+/// costs; records every vertex examined into `touched`.
+#[allow(clippy::too_many_arguments)]
+fn fed_witness_search(
+    fwd: &Overlay,
+    contracted: &[bool],
+    source: VertexId,
+    targets: &[(u32, Vec<Weight>)],
+    cmp: &mut dyn JointComparator,
+    relaxed: &mut HashSet<(u32, u32)>,
+    settled_log: &mut HashSet<u32>,
+) -> HashMap<u32, Vec<Weight>> {
+    // Keys are secret partial vectors, so the queue must be driven by
+    // Fed-SAC comparisons; the TM-tree keeps their number minimal even
+    // inside construction.
+    use fedroad_queue::{PriorityQueue, TmTree, DEFAULT_ALPHA};
+    struct QE {
+        v: u32,
+        g: Vec<Weight>,
+        key: PartialKey,
+    }
+    impl QE {
+        fn new(v: u32, g: Vec<Weight>) -> Self {
+            let key = g.iter().map(|&x| x as i64).collect();
+            QE { v, g, key }
+        }
+    }
+    impl KeyedEntry for QE {
+        fn key(&self) -> &PartialKey {
+            &self.key
+        }
+    }
+
+    // Secure max of the via costs: the search never needs to look past it
+    // (a target unreached below the bound gets its shortcut regardless).
+    let mut threshold: PartialKey = targets[0].1.iter().map(|&x| x as i64).collect();
+    for (_, via) in &targets[1..] {
+        let cand: PartialKey = via.iter().map(|&x| x as i64).collect();
+        if cmp.less(&threshold, &cand) {
+            threshold = cand;
+        }
+    }
+
+    let mut queue: TmTree<QE> = TmTree::new(DEFAULT_ALPHA);
+    let mut settled: HashSet<u32> = HashSet::new();
+    let mut remaining: HashSet<u32> = targets.iter().map(|(t, _)| *t).collect();
+    let mut out: HashMap<u32, Vec<Weight>> = HashMap::new();
+    let silo_count = targets[0].1.len();
+
+    queue.push(QE::new(source.0, vec![0; silo_count]), &mut EntryComparator::new(cmp));
+    settled_log.insert(source.0);
+
+    while !remaining.is_empty() && settled.len() < WITNESS_SETTLE_LIMIT {
+        let Some(e) = queue.pop(&mut EntryComparator::new(cmp)) else {
+            break;
+        };
+        if settled.contains(&e.v) {
+            continue;
+        }
+        // Bound check: once the frontier passes the largest via cost, all
+        // remaining witness questions are answered "no witness".
+        if cmp.less(&threshold, &e.key) {
+            break;
+        }
+        settled.insert(e.v);
+        settled_log.insert(e.v);
+        if remaining.remove(&e.v) {
+            out.insert(e.v, e.g.clone());
+            if remaining.is_empty() {
+                break;
+            }
+        }
+        let mut batch = Vec::new();
+        for (&head, arc) in &fwd[e.v as usize] {
+            if contracted[head as usize] || settled.contains(&head) {
+                continue;
+            }
+            relaxed.insert((e.v, head));
+            let g: Vec<Weight> = e.g.iter().zip(&arc.weights).map(|(a, b)| a + b).collect();
+            batch.push(QE::new(head, g));
+        }
+        queue.push_batch(batch, &mut EntryComparator::new(cmp));
+    }
+    out
+}
+
+/// [`SearchView`] over the federated hierarchy's upward graphs — plugging
+/// this into [`crate::spsp::fed_spsp`] gives the paper's "+Fed-Shortcut"
+/// hierarchical bidirectional search.
+pub struct FedChView<'a> {
+    index: &'a FedChIndex,
+    num_vertices: usize,
+}
+
+impl<'a> FedChView<'a> {
+    /// Wraps a built index.
+    pub fn new(index: &'a FedChIndex, graph: &Graph) -> Self {
+        FedChView {
+            index,
+            num_vertices: graph.num_vertices(),
+        }
+    }
+}
+
+impl SearchView for FedChView<'_> {
+    fn expand(&self, v: VertexId, dir: Direction, f: &mut ArcVisitor<'_>) {
+        let arcs = match dir {
+            Direction::Forward => &self.index.up_out[v.index()],
+            Direction::Backward => &self.index.up_in[v.index()],
+        };
+        for arc in arcs {
+            f(arc.head, &arc.weights, arc.middle);
+        }
+    }
+
+    fn arc_middle(&self, tail: VertexId, head: VertexId) -> Option<Option<VertexId>> {
+        if self.index.rank(tail) < self.index.rank(head) {
+            self.index.up_out[tail.index()]
+                .iter()
+                .find(|a| a.head == head)
+                .map(|a| a.middle)
+        } else {
+            self.index.up_in[head.index()]
+                .iter()
+                .find(|a| a.head == tail)
+                .map(|a| a.middle)
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn bidirectional_arc_coverage(&self) -> bool {
+        // Upward graphs: an up-down path's down segment is relaxable only
+        // by the backward search.
+        false
+    }
+
+    fn is_core(&self, v: VertexId) -> bool {
+        let n = self.index.order.len();
+        self.index.rank(v) as usize >= n - self.index.core_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federation::{Federation, FederationConfig};
+    use crate::lb::ZeroFedPotential;
+    use crate::oracle::JointOracle;
+    use crate::partials::SacComparator;
+    use crate::spsp::fed_spsp;
+    use fedroad_graph::ch::contraction_order;
+    use fedroad_graph::gen::{grid_city, GridCityParams};
+    use fedroad_graph::traffic::{gen_silo_weights, CongestionLevel};
+    use fedroad_mpc::SacBackend;
+    use fedroad_queue::QueueKind;
+
+    fn make_fed(seed: u64, silos: usize) -> Federation {
+        let g = grid_city(&GridCityParams::small(), seed);
+        let w = gen_silo_weights(&g, CongestionLevel::Moderate, silos, seed);
+        Federation::new(
+            g,
+            w,
+            FederationConfig {
+                backend: SacBackend::Modeled,
+                seed,
+            },
+        )
+    }
+
+    fn build_index(fed: &mut Federation) -> FedChIndex {
+        let order = contraction_order(fed.graph(), 0);
+        let core = (order.len() / 10).max(1);
+        let (graph, silos, engine) = fed.split_mut();
+        let mut cmp = SacComparator::new(engine);
+        FedChIndex::build(graph, silos, &order, core, &mut cmp)
+    }
+
+    fn ch_query(fed: &mut Federation, index: &FedChIndex, s: VertexId, t: VertexId) -> (u64, fedroad_graph::Path) {
+        let oracle = JointOracle::new(fed);
+        let num = fed.num_silos();
+        let graph = fed.graph().clone();
+        let (_, _, engine) = fed.split_mut();
+        let mut cmp = SacComparator::new(engine);
+        let view = FedChView::new(index, &graph);
+        let mut zero = ZeroFedPotential::new(num);
+        let out = fed_spsp(&view, num, s, t, &mut zero, QueueKind::TmTree, &mut cmp);
+        let path = out.path.expect("connected");
+        let cost = oracle.path_cost_scaled(fed, &path).expect("valid path");
+        (cost, path)
+    }
+
+    #[test]
+    fn fed_ch_queries_match_the_ideal_world() {
+        let mut fed = make_fed(31, 3);
+        let oracle = JointOracle::new(&fed);
+        let index = build_index(&mut fed);
+        assert!(index.stats().shortcuts > 0);
+        let n = fed.graph().num_vertices() as u32;
+        for (s, t) in [(0, n - 1), (5, 77), (88, 12), (40, 41), (13, 93)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
+            let (cost, path) = ch_query(&mut fed, &index, s, t);
+            assert_eq!(cost, truth, "{s}->{t}");
+            assert_eq!(path.source(), s);
+            assert_eq!(path.target(), t);
+        }
+    }
+
+    #[test]
+    fn joint_shortcut_weights_equal_wjrn_shortcut_weights() {
+        // Algorithm 2's guarantee: aggregated local shortcut weights equal
+        // the shortcut weight a trusted party would compute on the WJRN.
+        let mut fed = make_fed(33, 2);
+        let oracle = JointOracle::new(&fed);
+        let index = build_index(&mut fed);
+        let mut checked = 0;
+        for v in fed.graph().vertices() {
+            for arc in index.up_out(v) {
+                if arc.middle.is_none() {
+                    continue;
+                }
+                let joint: u64 = arc.weights.iter().sum();
+                // The via path is real, so its joint weight is at least the
+                // true joint distance; witness pruning ensures it *is* the
+                // distance when the shortcut was needed at build time.
+                let (d, _) = oracle.spsp_scaled(&fed, v, arc.head).unwrap();
+                assert!(joint >= d, "shortcut below true distance");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn inconsistent_local_indices_give_wrong_answers() {
+        // The paper's §IV motivating failure: silos that compute shortcut
+        // weights from their own *local* witness paths produce a joint
+        // index whose aggregated weights are wrong.
+        let mut fed = make_fed(35, 2);
+        let oracle = JointOracle::new(&fed);
+        let order = contraction_order(fed.graph(), 0);
+        let graph = fed.graph().clone();
+        // Build each silo's CH independently (local witnesses!).
+        let ch0 = fedroad_graph::ch::build_ch(&graph, fed.silo(0).as_slice(), &order);
+        let ch1 = fedroad_graph::ch::build_ch(&graph, fed.silo(1).as_slice(), &order);
+        // Find a vertex pair where the independently-built hierarchies
+        // disagree on the *shortcut structure* — the inconsistency that
+        // would corrupt a federated query.
+        let mut structural_mismatch = false;
+        for v in graph.vertices() {
+            let heads0: std::collections::BTreeSet<u32> =
+                ch0.up_out(v).iter().map(|a| a.head.0).collect();
+            let heads1: std::collections::BTreeSet<u32> =
+                ch1.up_out(v).iter().map(|a| a.head.0).collect();
+            if heads0 != heads1 {
+                structural_mismatch = true;
+                break;
+            }
+        }
+        assert!(
+            structural_mismatch,
+            "independently built hierarchies should diverge under congestion"
+        );
+        // Meanwhile the federated index stays consistent and exact.
+        let index = build_index(&mut fed);
+        let (s, t) = (VertexId(0), VertexId(90));
+        let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
+        let (cost, _) = ch_query(&mut fed, &index, s, t);
+        assert_eq!(cost, truth);
+    }
+
+    #[test]
+    fn update_tracks_weight_changes_exactly() {
+        let mut fed = make_fed(37, 3);
+        let mut index = build_index(&mut fed);
+
+        // Perturb a small set of arcs on silo 1.
+        let graph = fed.graph().clone();
+        let mut new_w = fed.silo(1).as_slice().to_vec();
+        let changed: Vec<ArcId> = (0..graph.num_arcs())
+            .step_by(97)
+            .map(|i| ArcId(i as u32))
+            .collect();
+        for a in &changed {
+            new_w[a.index()] += 37;
+        }
+        fed.update_silo_weights(1, new_w);
+
+        // Update the index and verify queries against the fresh oracle.
+        let stats = {
+            let (graph, silos, engine) = fed.split_mut();
+            let mut cmp = SacComparator::new(engine);
+            index.update(graph, silos, &changed, &mut cmp)
+        };
+        assert!(
+            stats.replayed > 0,
+            "a small change should leave most contractions replayed"
+        );
+        let oracle = JointOracle::new(&fed);
+        let n = graph.num_vertices() as u32;
+        for (s, t) in [(0, n - 1), (11, 60), (95, 4), (50, 51)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
+            let (cost, _) = ch_query(&mut fed, &index, s, t);
+            assert_eq!(cost, truth, "stale index after update: {s}->{t}");
+        }
+    }
+
+    #[test]
+    fn update_with_no_changes_replays_everything() {
+        let mut fed = make_fed(39, 2);
+        let mut index = build_index(&mut fed);
+        let contracted = (fed.graph().num_vertices() - index.core_size()) as u64;
+        let stats = {
+            let (graph, silos, engine) = fed.split_mut();
+            let mut cmp = SacComparator::new(engine);
+            index.update(graph, silos, &[], &mut cmp)
+        };
+        assert_eq!(stats.contracted_fresh, 0);
+        assert_eq!(stats.replayed, contracted);
+    }
+
+    #[test]
+    fn update_cost_scales_with_change_fraction() {
+        let fractions = [0.001f64, 0.05];
+        let mut fresh_counts = Vec::new();
+        for &frac in &fractions {
+            let mut fed = make_fed(41, 2);
+            let mut index = build_index(&mut fed);
+            let graph = fed.graph().clone();
+            let m = graph.num_arcs();
+            let k = ((m as f64) * frac).ceil() as usize;
+            let changed: Vec<ArcId> = (0..k).map(|i| ArcId(((i * 37) % m) as u32)).collect();
+            let mut new_w = fed.silo(0).as_slice().to_vec();
+            for a in &changed {
+                new_w[a.index()] += 11;
+            }
+            fed.update_silo_weights(0, new_w);
+            let stats = {
+                let (graph, silos, engine) = fed.split_mut();
+                let mut cmp = SacComparator::new(engine);
+                index.update(graph, silos, &changed, &mut cmp)
+            };
+            fresh_counts.push(stats.contracted_fresh);
+        }
+        assert!(
+            fresh_counts[0] < fresh_counts[1],
+            "more changes must force more fresh contractions: {fresh_counts:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod hierarchy_property_tests {
+    use super::*;
+    use crate::federation::{Federation, FederationConfig};
+    use crate::oracle::JointOracle;
+    use crate::partials::SacComparator;
+    use fedroad_graph::ch::contraction_order;
+    use fedroad_graph::gen::{grid_city, GridCityParams};
+    use fedroad_graph::traffic::{gen_silo_weights, CongestionLevel};
+    use fedroad_mpc::SacBackend;
+
+    /// Regression guard for the CH correctness property: for any pair,
+    /// some up-down path through the hierarchy realizes the true joint
+    /// distance (the bidirectional query then only has to find it).
+    #[test]
+    fn up_down_paths_realize_true_joint_distances() {
+        let g = grid_city(&GridCityParams::small(), 31);
+        let w = gen_silo_weights(&g, CongestionLevel::Moderate, 3, 31);
+        let mut fed = Federation::new(g, w, FederationConfig { backend: SacBackend::Modeled, seed: 31 });
+        let oracle = JointOracle::new(&fed);
+        let order = contraction_order(fed.graph(), 0);
+        let index = {
+            let core = (order.len() / 10).max(1);
+            let (graph, silos, engine) = fed.split_mut();
+            let mut cmp = SacComparator::new(engine);
+            FedChIndex::build(graph, silos, &order, core, &mut cmp)
+        };
+        // exhaustive plain dijkstra over up graphs with joint (scaled) weights
+        let n = fed.graph().num_vertices();
+        let joint = |arc: &FedChArc| -> u64 { arc.weights.iter().sum() };
+        let dij = |start: usize, fwd: bool| -> Vec<u64> {
+            let mut dist = vec![u64::MAX/4; n];
+            let mut heap = std::collections::BinaryHeap::new();
+            dist[start] = 0;
+            heap.push(std::cmp::Reverse((0u64, start)));
+            while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+                if d > dist[v] { continue; }
+                let arcs = if fwd { index.up_out(VertexId(v as u32)) } else { index.up_in(VertexId(v as u32)) };
+                for a in arcs {
+                    let nd = d + joint(a);
+                    if nd < dist[a.head.index()] { dist[a.head.index()] = nd; heap.push(std::cmp::Reverse((nd, a.head.index()))); }
+                }
+            }
+            dist
+        };
+        for (s, t) in [(13usize, 93usize), (0, 99), (42, 57), (7, 88)] {
+            let df = dij(s, true);
+            let db = dij(t, false);
+            let best = (0..n).map(|v| df[v].saturating_add(db[v])).min().unwrap();
+            let truth = oracle.spsp_scaled(&fed, VertexId(s as u32), VertexId(t as u32)).unwrap().0;
+            assert_eq!(best, truth, "no exact up-down path {s}->{t}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::federation::{Federation, FederationConfig};
+    use crate::oracle::JointOracle;
+    use crate::partials::SacComparator;
+    use fedroad_graph::ch::contraction_order;
+    use fedroad_graph::gen::{grid_city, GridCityParams};
+    use fedroad_graph::traffic::{gen_silo_weights, CongestionLevel};
+    use fedroad_mpc::SacBackend;
+
+    fn make_setup() -> (Federation, FedChIndex) {
+        let g = grid_city(&GridCityParams::small(), 61);
+        let w = gen_silo_weights(&g, CongestionLevel::Moderate, 3, 61);
+        let mut fed = Federation::new(
+            g,
+            w,
+            FederationConfig {
+                backend: SacBackend::Modeled,
+                seed: 61,
+            },
+        );
+        let order = contraction_order(fed.graph(), 0);
+        let core = (order.len() / 10).max(1);
+        let index = {
+            let (graph, silos, engine) = fed.split_mut();
+            let mut cmp = SacComparator::new(engine);
+            FedChIndex::build(graph, silos, &order, core, &mut cmp)
+        };
+        (fed, index)
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_query_behaviour() {
+        let (mut fed, index) = make_setup();
+        let restored = FedChIndex::from_json(&index.to_json().unwrap()).unwrap();
+        // Structures identical.
+        for v in fed.graph().vertices() {
+            assert_eq!(index.up_out(v), restored.up_out(v));
+            assert_eq!(index.up_in(v), restored.up_in(v));
+        }
+        // Queries through the restored index are exact.
+        let oracle = JointOracle::new(&fed);
+        let graph = fed.graph().clone();
+        let (s, t) = (VertexId(0), VertexId(95));
+        let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
+        let path = {
+            let (_, _, engine) = fed.split_mut();
+            let mut cmp = SacComparator::new(engine);
+            let view = FedChView::new(&restored, &graph);
+            let mut zero = crate::lb::ZeroFedPotential::new(3);
+            crate::spsp::fed_spsp(&view, 3, s, t, &mut zero, fedroad_queue::QueueKind::Heap, &mut cmp)
+                .path
+                .unwrap()
+        };
+        assert_eq!(oracle.path_cost_scaled(&fed, &path), Some(truth));
+    }
+
+    #[test]
+    fn restored_index_supports_updates() {
+        let (mut fed, index) = make_setup();
+        let mut restored = FedChIndex::from_json(&index.to_json().unwrap()).unwrap();
+        let changed: Vec<ArcId> = (0..fed.graph().num_arcs())
+            .step_by(53)
+            .map(|i| ArcId(i as u32))
+            .collect();
+        let mut w = fed.silo(2).as_slice().to_vec();
+        for a in &changed {
+            w[a.index()] += 21;
+        }
+        fed.update_silo_weights(2, w);
+        {
+            let (graph, silos, engine) = fed.split_mut();
+            let mut cmp = SacComparator::new(engine);
+            restored.update(graph, silos, &changed, &mut cmp);
+        }
+        let oracle = JointOracle::new(&fed);
+        let graph = fed.graph().clone();
+        let (s, t) = (VertexId(3), VertexId(88));
+        let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
+        let path = {
+            let (_, _, engine) = fed.split_mut();
+            let mut cmp = SacComparator::new(engine);
+            let view = FedChView::new(&restored, &graph);
+            let mut zero = crate::lb::ZeroFedPotential::new(3);
+            crate::spsp::fed_spsp(&view, 3, s, t, &mut zero, fedroad_queue::QueueKind::TmTree, &mut cmp)
+                .path
+                .unwrap()
+        };
+        assert_eq!(oracle.path_cost_scaled(&fed, &path), Some(truth));
+    }
+
+    #[test]
+    fn silo_view_keeps_only_one_column() {
+        let (fed, index) = make_setup();
+        let view = index.silo_view(1);
+        for v in fed.graph().vertices() {
+            for (full, stripped) in index.up_out(v).iter().zip(view.up_out(v)) {
+                assert_eq!(stripped.weights.len(), 1);
+                assert_eq!(stripped.weights[0], full.weights[1]);
+                assert_eq!(stripped.head, full.head);
+                assert_eq!(stripped.middle, full.middle);
+            }
+        }
+    }
+}

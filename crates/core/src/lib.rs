@@ -1,0 +1,71 @@
+//! # fedroad-core — secure federated road-network queries
+//!
+//! The primary contribution of *FedRoad: Secure and Efficient Road Network
+//! Queries over Traffic Data Federation* (ICDE 2025): a traffic-data
+//! federation in which `P` silos sharing a road-network topology — each
+//! holding private real-time edge weights — collaboratively answer
+//! shortest-path queries on the *imaginary* weighted joint road network
+//! (per-edge average weights) while revealing nothing beyond Fed-SAC
+//! comparison bits and the result paths.
+//!
+//! ## Module map
+//!
+//! * [`federation`] — the [`Federation`] type: shared graph, per-silo
+//!   [`SiloWeights`], and the MPC engine.
+//! * [`sssp`] / [`spsp`] — federated Dijkstra (Algorithm 1, kNN) and
+//!   bidirectional federated A* point-to-point search.
+//! * [`fedch`] — the federated shortcut index (Algorithms 2–3) with
+//!   consistent shortcut sets, secret per-silo weights, and replay-based
+//!   dynamic updates.
+//! * [`lb`] — Fed-ALT / Fed-ALT-Max / Fed-AMPS lower bounds (Algorithm 4).
+//! * [`engine`] — the [`QueryEngine`] facade wiring index + lower bound +
+//!   priority queue into the paper's named method lines.
+//! * [`security`] — the executable §VII simulation argument.
+//! * [`oracle`] — the ideal-world joint oracle (test/evaluation only).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fedroad_core::{Federation, FederationConfig, Method, QueryEngine};
+//! use fedroad_graph::gen::{grid_city, GridCityParams};
+//! use fedroad_graph::traffic::{gen_silo_weights, CongestionLevel};
+//! use fedroad_graph::VertexId;
+//!
+//! // Three mobility platforms observe the same small city differently.
+//! let city = grid_city(&GridCityParams::small(), 7);
+//! let observations = gen_silo_weights(&city, CongestionLevel::Moderate, 3, 7);
+//! let mut federation = Federation::new(city, observations, FederationConfig::default());
+//!
+//! // Build the full FedRoad engine (shortcut index + Fed-AMPS + TM-tree)…
+//! let engine = QueryEngine::build(&mut federation, Method::FedRoad.config());
+//!
+//! // …and route on the joint traffic view without sharing raw weights.
+//! let result = engine.spsp(&mut federation, VertexId(0), VertexId(99));
+//! let path = result.path.expect("connected city");
+//! assert_eq!(path.source(), VertexId(0));
+//! assert!(result.stats.sac_invocations > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod federation;
+pub mod fedch;
+pub mod lb;
+pub mod oracle;
+pub mod partials;
+pub mod security;
+pub mod spsp;
+pub mod sssp;
+pub mod view;
+
+pub use engine::{EngineConfig, Method, QueryEngine, QueryResult, QueryStats};
+pub use federation::{Federation, FederationConfig, SiloWeights};
+pub use fedch::{FedChIndex, FedChStats, FedChView};
+pub use lb::LowerBoundKind;
+pub use oracle::JointOracle;
+pub use partials::{JointComparator, PartialCosts, PartialKey, PlainComparator, SacComparator};
+pub use security::{verify_spsp_security, SecurityReport};
+pub use spsp::{fed_spsp, SpspOutcome};
+pub use sssp::{fed_sssp, FedSsspResult};
+pub use view::{BaseView, SearchView};

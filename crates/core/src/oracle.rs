@@ -1,0 +1,108 @@
+//! The joint-weight oracle — the "ideal world" trusted third party.
+//!
+//! **Evaluation-only.** This type materializes the weighted joint road
+//! network (WJRN) that the whole point of FedRoad is to *never* materialize
+//! in production: it averages all silos' private weights and runs plain
+//! Dijkstra. It exists so that tests can assert federated query results are
+//! exactly the ideal-world results, and so the experiment harness can
+//! measure lower-bound accuracy against true joint distances (Figure 11).
+
+use crate::federation::Federation;
+use fedroad_graph::algo::{spsp, sssp};
+use fedroad_graph::{Path, VertexId, Weight};
+
+/// Plain-text access to the imaginary WJRN of a federation.
+#[derive(Clone, Debug)]
+pub struct JointOracle {
+    joint: Vec<Weight>,
+    scaled: Vec<Weight>,
+}
+
+impl JointOracle {
+    /// Averages the silos' weights. Breaks the privacy model by design;
+    /// keep usage confined to tests and the bench harness.
+    pub fn new(fed: &Federation) -> Self {
+        let p = fed.num_silos() as u64;
+        let m = fed.graph().num_arcs();
+        let mut joint = Vec::with_capacity(m);
+        let mut scaled = Vec::with_capacity(m);
+        for i in 0..m {
+            let sum: u64 = fed
+                .silos()
+                .iter()
+                .map(|s| s.as_slice()[i])
+                .sum();
+            joint.push(sum / p);
+            // The exact quantity Fed-SAC compares is the *sum* (average
+            // times P, no rounding); keep it for exact equality checks.
+            scaled.push(sum);
+        }
+        JointOracle { joint, scaled }
+    }
+
+    /// Rounded joint weights `ω̄(e)` (Equation 1) — human-readable costs.
+    pub fn joint_weights(&self) -> &[Weight] {
+        &self.joint
+    }
+
+    /// Exact `P·ω̄(e)` weights — the scale on which federated comparisons
+    /// operate; use these for equality assertions against federated
+    /// results.
+    pub fn scaled_weights(&self) -> &[Weight] {
+        &self.scaled
+    }
+
+    /// True joint shortest-path distance and path on the WJRN, at the
+    /// exact (scaled-by-P) resolution.
+    pub fn spsp_scaled(
+        &self,
+        fed: &Federation,
+        s: VertexId,
+        t: VertexId,
+    ) -> Option<(Weight, Path)> {
+        spsp(fed.graph(), &self.scaled, s, t)
+    }
+
+    /// Scaled joint distances from `s` to every vertex.
+    pub fn sssp_scaled(&self, fed: &Federation, s: VertexId) -> Vec<Weight> {
+        sssp(fed.graph(), &self.scaled, s).dist
+    }
+
+    /// Evaluates a path's scaled joint cost.
+    pub fn path_cost_scaled(&self, fed: &Federation, path: &Path) -> Option<Weight> {
+        path.cost(fed.graph(), &self.scaled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federation::FederationConfig;
+    use fedroad_graph::gen::{grid_city, GridCityParams};
+    use fedroad_graph::traffic::{gen_silo_weights, CongestionLevel};
+
+    #[test]
+    fn scaled_weights_are_exact_sums() {
+        let g = grid_city(&GridCityParams::small(), 4);
+        let silos = gen_silo_weights(&g, CongestionLevel::Heavy, 3, 4);
+        let fed = Federation::new(g, silos, FederationConfig::default());
+        let oracle = JointOracle::new(&fed);
+        for i in 0..fed.graph().num_arcs() {
+            let sum: u64 = (0..3).map(|p| fed.silo(p).as_slice()[i]).sum();
+            assert_eq!(oracle.scaled_weights()[i], sum);
+            assert_eq!(oracle.joint_weights()[i], sum / 3);
+        }
+    }
+
+    #[test]
+    fn oracle_spsp_is_consistent_between_scales() {
+        let g = grid_city(&GridCityParams::small(), 5);
+        let silos = gen_silo_weights(&g, CongestionLevel::Moderate, 2, 5);
+        let fed = Federation::new(g, silos, FederationConfig::default());
+        let oracle = JointOracle::new(&fed);
+        let (d, p) = oracle
+            .spsp_scaled(&fed, VertexId(0), VertexId(99))
+            .unwrap();
+        assert_eq!(oracle.path_cost_scaled(&fed, &p), Some(d));
+    }
+}

@@ -1,0 +1,331 @@
+//! Fed-SSSP — the paper's Algorithm 1: federated single-source
+//! shortest-path / kNN search with secure comparisons.
+//!
+//! The search runs the same control flow at every silo, branching only on
+//! Fed-SAC results (that is the §VII security argument); here it executes
+//! once in coordinator view, carrying per-silo partial costs and routing
+//! every ordering decision through the supplied [`JointComparator`].
+
+use crate::partials::{EntryComparator, JointComparator, KeyedEntry, PartialKey};
+use crate::view::SearchView;
+use fedroad_queue::{CompareCounts, QueueKind};
+use fedroad_graph::{path_from_parents, Direction, Path, VertexId};
+use std::collections::HashMap;
+
+/// One queued exploration state: a tentative shortest path to `v`,
+/// represented by its per-silo partial costs and back-pointer.
+#[derive(Clone, Debug)]
+pub struct SsspEntry {
+    /// End vertex of the explored path.
+    pub v: VertexId,
+    /// `g[p]` = silo `p`'s partial cost of the path.
+    pub g: Vec<u64>,
+    /// The queue key (the partial costs, sign-extended), precomputed so
+    /// comparisons borrow rather than allocate.
+    key: PartialKey,
+    /// Predecessor on the path (`None` for the source).
+    pub parent: Option<VertexId>,
+    /// Middle vertex of the final arc if it is a shortcut.
+    pub middle: Option<VertexId>,
+}
+
+impl SsspEntry {
+    fn new(
+        v: VertexId,
+        g: Vec<u64>,
+        parent: Option<VertexId>,
+        middle: Option<VertexId>,
+    ) -> Self {
+        let key = g.iter().map(|&x| x as i64).collect();
+        SsspEntry {
+            v,
+            g,
+            key,
+            parent,
+            middle,
+        }
+    }
+}
+
+impl KeyedEntry for SsspEntry {
+    fn key(&self) -> &PartialKey {
+        &self.key
+    }
+}
+
+/// Result of a Fed-SSSP run.
+#[derive(Clone, Debug)]
+pub struct FedSsspResult {
+    /// Source of the search.
+    pub source: VertexId,
+    /// Settled vertices in settle order with their partial costs — the
+    /// paper's result set `R` (each silo learns only its own column).
+    pub settled: Vec<(VertexId, Vec<u64>)>,
+    /// Back-pointers: `parent[v] = (pred, middle-of-final-arc)`.
+    pub parents: HashMap<u32, (Option<VertexId>, Option<VertexId>)>,
+    /// Queue comparison counts by phase.
+    pub queue_counts: CompareCounts,
+    /// Items pushed into the priority queue.
+    pub queue_pushes: u64,
+}
+
+impl FedSsspResult {
+    /// Partial costs of the settled vertex `v`, if settled.
+    pub fn partial_costs(&self, v: VertexId) -> Option<&Vec<u64>> {
+        self.settled.iter().find(|(u, _)| *u == v).map(|(_, g)| g)
+    }
+
+    /// Whether `v` was settled.
+    pub fn is_settled(&self, v: VertexId) -> bool {
+        self.parents.contains_key(&v.0)
+    }
+
+    /// Reconstructs the (base-graph) path from the source to `v`.
+    ///
+    /// Only valid for searches over [`crate::view::BaseView`]; searches over
+    /// shortcut views need unpacking (see `fedroad_core::spsp`).
+    pub fn path_to(&self, v: VertexId, num_vertices: usize) -> Option<Path> {
+        let mut parent_arr: Vec<Option<VertexId>> = vec![None; num_vertices];
+        for (&u, &(p, _)) in &self.parents {
+            parent_arr[u as usize] = p;
+        }
+        if !self.is_settled(v) {
+            return None;
+        }
+        path_from_parents(self.source, v, &parent_arr)
+    }
+}
+
+/// Runs Fed-SSSP from `source` in the given direction, stopping after `k`
+/// vertices settle (pass `usize::MAX` for a full SSSP).
+///
+/// `num_silos` fixes the width of partial-cost vectors; `queue_kind`
+/// selects the priority-queue structure; `cmp` is the secure comparator —
+/// every call it receives is one Fed-SAC invocation.
+pub fn fed_sssp(
+    view: &dyn SearchView,
+    num_silos: usize,
+    source: VertexId,
+    k: usize,
+    direction: Direction,
+    queue_kind: QueueKind,
+    cmp: &mut dyn JointComparator,
+) -> FedSsspResult {
+    let mut queue = queue_kind.instantiate::<SsspEntry>();
+    let mut settled_set: HashMap<u32, ()> = HashMap::new();
+    let mut result = FedSsspResult {
+        source,
+        settled: Vec::new(),
+        parents: HashMap::new(),
+        queue_counts: CompareCounts::default(),
+        queue_pushes: 0,
+    };
+
+    queue.push(
+        SsspEntry::new(source, vec![0; num_silos], None, None),
+        &mut EntryComparator::new(cmp),
+    );
+
+    while result.settled.len() < k {
+        // Global MPC comparing step: pop the explored path with the minimum
+        // joint cost (stale entries for already-settled vertices are
+        // discarded without extra comparisons).
+        let entry = loop {
+            let popped = queue.pop(&mut EntryComparator::new(cmp));
+            match popped {
+                None => {
+                    result.queue_counts = queue.counts();
+                    result.queue_pushes = queue.pushed();
+                    return result;
+                }
+                Some(e) if settled_set.contains_key(&e.v.0) => continue,
+                Some(e) => break e,
+            }
+        };
+
+        // Local step: settle and expand.
+        settled_set.insert(entry.v.0, ());
+        result
+            .parents
+            .insert(entry.v.0, (entry.parent, entry.middle));
+        result.settled.push((entry.v, entry.g.clone()));
+
+        let mut batch = Vec::new();
+        view.expand(entry.v, direction, &mut |head, w, middle| {
+            if settled_set.contains_key(&head.0) {
+                return;
+            }
+            let g: Vec<u64> = entry.g.iter().zip(w).map(|(a, b)| a + b).collect();
+            batch.push(SsspEntry::new(head, g, Some(entry.v), middle));
+        });
+        queue.push_batch(batch, &mut EntryComparator::new(cmp));
+    }
+
+    result.queue_counts = queue.counts();
+    result.queue_pushes = queue.pushed();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federation::{Federation, FederationConfig};
+    use crate::oracle::JointOracle;
+    use crate::partials::SacComparator;
+    use crate::view::BaseView;
+    use fedroad_graph::gen::{grid_city, GridCityParams};
+    use fedroad_graph::traffic::{gen_silo_weights, CongestionLevel};
+    use fedroad_mpc::SacBackend;
+
+    fn make_fed(seed: u64, silos: usize) -> Federation {
+        let g = grid_city(&GridCityParams::small(), seed);
+        let w = gen_silo_weights(&g, CongestionLevel::Moderate, silos, seed);
+        Federation::new(
+            g,
+            w,
+            FederationConfig {
+                backend: SacBackend::Real,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn fed_sssp_matches_ideal_world_distances() {
+        let mut fed = make_fed(7, 3);
+        let oracle = JointOracle::new(&fed);
+        let source = VertexId(0);
+        let truth = oracle.sssp_scaled(&fed, source);
+
+        let (graph, silos, engine) = fed.split_mut();
+        let mut cmp = SacComparator::new(engine);
+        let view = BaseView::new(graph, silos);
+        let res = fed_sssp(
+            &view,
+            3,
+            source,
+            usize::MAX,
+            Direction::Forward,
+            QueueKind::Heap,
+            &mut cmp,
+        );
+        assert_eq!(res.settled.len(), graph.num_vertices());
+        for (v, g) in &res.settled {
+            let joint_sum: u64 = g.iter().sum();
+            assert_eq!(joint_sum, truth[v.index()], "distance mismatch at {v}");
+        }
+    }
+
+    #[test]
+    fn knn_returns_vertices_in_joint_distance_order() {
+        let mut fed = make_fed(9, 2);
+        let oracle = JointOracle::new(&fed);
+        let source = VertexId(42);
+        let truth = oracle.sssp_scaled(&fed, source);
+
+        let (graph, silos, engine) = fed.split_mut();
+        let mut cmp = SacComparator::new(engine);
+        let view = BaseView::new(graph, silos);
+        let res = fed_sssp(
+            &view,
+            2,
+            source,
+            5,
+            Direction::Forward,
+            QueueKind::TmTree,
+            &mut cmp,
+        );
+        assert_eq!(res.settled.len(), 5);
+        // Settle order is non-decreasing in joint distance and equals truth.
+        let dists: Vec<u64> = res.settled.iter().map(|(_, g)| g.iter().sum()).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+        for (v, g) in &res.settled {
+            assert_eq!(g.iter().sum::<u64>(), truth[v.index()]);
+        }
+        // And the 5 settled are exactly the 5 closest (modulo ties).
+        let mut all: Vec<u64> = truth.clone();
+        all.sort_unstable();
+        assert!(dists.last().unwrap() <= &all[4..=5].iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn sssp_paths_are_valid_and_optimal() {
+        let mut fed = make_fed(11, 3);
+        let oracle = JointOracle::new(&fed);
+        let source = VertexId(3);
+        let n = {
+            let g = fed.graph();
+            g.num_vertices()
+        };
+        let (graph, silos, engine) = fed.split_mut();
+        let mut cmp = SacComparator::new(engine);
+        let view = BaseView::new(graph, silos);
+        let res = fed_sssp(
+            &view,
+            3,
+            source,
+            20,
+            Direction::Forward,
+            QueueKind::LeftistHeap,
+            &mut cmp,
+        );
+        for (v, g) in res.settled.iter().skip(1) {
+            let path = res.path_to(*v, n).expect("settled vertex has a path");
+            let cost = oracle.path_cost_scaled(&fed, &path).expect("valid path");
+            assert_eq!(cost, g.iter().sum::<u64>(), "path not optimal to {v}");
+        }
+    }
+
+    #[test]
+    fn backward_sssp_measures_reverse_distances() {
+        let mut fed = make_fed(13, 2);
+        let oracle = JointOracle::new(&fed);
+        let target = VertexId(17);
+        // Backward distances from t = forward distance v→t.
+        let (graph, silos, engine) = fed.split_mut();
+        let mut cmp = SacComparator::new(engine);
+        let view = BaseView::new(graph, silos);
+        let res = fed_sssp(
+            &view,
+            2,
+            target,
+            usize::MAX,
+            Direction::Backward,
+            QueueKind::Heap,
+            &mut cmp,
+        );
+        for (v, g) in res.settled.iter().take(10) {
+            let (d, _) = oracle.spsp_scaled(&fed, *v, target).unwrap();
+            assert_eq!(g.iter().sum::<u64>(), d);
+        }
+    }
+
+    #[test]
+    fn all_queue_kinds_agree() {
+        for kind in QueueKind::ALL {
+            let mut fed = make_fed(15, 2);
+            let oracle = JointOracle::new(&fed);
+            let truth = oracle.sssp_scaled(&fed, VertexId(0));
+            let (graph, silos, engine) = fed.split_mut();
+            let mut cmp = SacComparator::new(engine);
+            let view = BaseView::new(graph, silos);
+            let res = fed_sssp(
+                &view,
+                2,
+                VertexId(0),
+                30,
+                Direction::Forward,
+                kind,
+                &mut cmp,
+            );
+            for (v, g) in &res.settled {
+                assert_eq!(
+                    g.iter().sum::<u64>(),
+                    truth[v.index()],
+                    "queue {} wrong",
+                    kind.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Search views: a common expansion interface over the base road network
+//! and the federated shortcut index.
+//!
+//! The federated searches (Fed-SSSP, Fed-SPSP) are written once against
+//! [`SearchView`]; plugging in [`BaseView`] gives the paper's Naive-Dijk
+//! baselines, plugging in the Fed-CH upward graphs gives the
+//! "+Fed-Shortcut" hierarchical search.
+
+use crate::federation::SiloWeights;
+use fedroad_graph::{Direction, Graph, VertexId, Weight};
+
+/// Visitor invoked per expanded arc: `(head, partial_weights, middle)`.
+pub type ArcVisitor<'a> = dyn FnMut(VertexId, &[Weight], Option<VertexId>) + 'a;
+
+/// A graph a federated search can expand over.
+pub trait SearchView {
+    /// Invokes `f(head, partial_weights, middle)` for every arc leaving
+    /// (`Forward`) or entering (`Backward`) `v` that the search may relax.
+    /// `partial_weights[p]` is silo `p`'s weight of the arc; `middle` is
+    /// the contracted vertex for shortcut arcs (`None` for original arcs).
+    fn expand(&self, v: VertexId, dir: Direction, f: &mut ArcVisitor<'_>);
+
+    /// Resolves the *forward-orientation* arc `tail → head` to its middle
+    /// vertex for path unpacking. Returns `None` when no such arc exists.
+    fn arc_middle(&self, tail: VertexId, head: VertexId) -> Option<Option<VertexId>>;
+
+    /// Number of vertices of the underlying network.
+    fn num_vertices(&self) -> usize;
+
+    /// Whether every arc is relaxable from **both** search directions.
+    ///
+    /// True for the base network (forward search relaxes `(u,v)` when `u`
+    /// settles, backward when `v` settles). False for CH upward graphs,
+    /// where down-arcs are visible only to the backward search — the
+    /// bidirectional search then detects meetings via vertex labels
+    /// instead of crossing arcs.
+    fn bidirectional_arc_coverage(&self) -> bool {
+        true
+    }
+
+    /// Whether `v` belongs to the uncontracted core of a partial
+    /// hierarchy. Guided (potential-directed) searches let the backward
+    /// sweep stop at core vertices and cross the core with forward A*
+    /// only. Always `false` for flat views.
+    fn is_core(&self, _v: VertexId) -> bool {
+        false
+    }
+}
+
+/// The plain shared road network with per-silo weights.
+pub struct BaseView<'a> {
+    graph: &'a Graph,
+    silos: &'a [SiloWeights],
+}
+
+impl<'a> BaseView<'a> {
+    /// Wraps the federation's public graph and the silos' private weights.
+    pub fn new(graph: &'a Graph, silos: &'a [SiloWeights]) -> Self {
+        BaseView { graph, silos }
+    }
+}
+
+impl SearchView for BaseView<'_> {
+    fn expand(&self, v: VertexId, dir: Direction, f: &mut ArcVisitor<'_>) {
+        let mut scratch = vec![0u64; self.silos.len()];
+        let mut emit = |arc: fedroad_graph::Arc| {
+            for (p, silo) in self.silos.iter().enumerate() {
+                scratch[p] = silo.weight(arc.id);
+            }
+            f(arc.head, &scratch, None);
+        };
+        match dir {
+            Direction::Forward => self.graph.out_arcs(v).for_each(&mut emit),
+            Direction::Backward => self.graph.in_arcs(v).for_each(&mut emit),
+        }
+    }
+
+    fn arc_middle(&self, tail: VertexId, head: VertexId) -> Option<Option<VertexId>> {
+        self.graph.find_arc(tail, head).map(|_| None)
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federation::{Federation, FederationConfig};
+    use fedroad_graph::gen::{grid_city, GridCityParams};
+    use fedroad_graph::traffic::{gen_silo_weights, CongestionLevel};
+
+    #[test]
+    fn base_view_emits_per_silo_weights() {
+        let g = grid_city(&GridCityParams::small(), 3);
+        let silos = gen_silo_weights(&g, CongestionLevel::Moderate, 3, 3);
+        let fed = Federation::new(g, silos, FederationConfig::default());
+        let view = BaseView::new(fed.graph(), fed.silos());
+
+        let v = VertexId(0);
+        let mut count = 0;
+        view.expand(v, Direction::Forward, &mut |head, w, middle| {
+            count += 1;
+            assert_eq!(w.len(), 3);
+            assert_eq!(middle, None);
+            let arc = fed.graph().find_arc(v, head).unwrap();
+            for (p, &wp) in w.iter().enumerate() {
+                assert_eq!(wp, fed.silo(p).weight(arc));
+            }
+        });
+        assert_eq!(count, fed.graph().out_degree(v));
+    }
+
+    #[test]
+    fn base_view_arc_middle_is_none_for_existing_arcs() {
+        let g = grid_city(&GridCityParams::small(), 3);
+        let silos = gen_silo_weights(&g, CongestionLevel::Free, 2, 3);
+        let fed = Federation::new(g, silos, FederationConfig::default());
+        let view = BaseView::new(fed.graph(), fed.silos());
+        let v = VertexId(0);
+        let head = fed.graph().out_arcs(v).next().unwrap().head;
+        assert_eq!(view.arc_middle(v, head), Some(None));
+        assert_eq!(view.arc_middle(v, v), None);
+    }
+}

@@ -1,0 +1,172 @@
+//! A* goal-directed point-to-point search over an abstract potential.
+
+use crate::graph::Graph;
+use crate::ids::{VertexId, Weight, INFINITY};
+use crate::path::{path_from_parents, Path};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A heuristic lower bound `π(v)` on the remaining distance from `v` to the
+/// query target.
+///
+/// A* is correct whenever the potential is *admissible*
+/// (`π(v) ≤ dist(v, t)`); it additionally never re-settles vertices when the
+/// potential is *consistent* (`π(u) ≤ w(u,v) + π(v)`). All potentials
+/// shipped in this workspace are admissible; the local ones are consistent.
+pub trait Potential {
+    /// Lower bound on the distance from `v` to the target this potential was
+    /// built for. Takes `&mut self` so implementations may memoize.
+    fn estimate(&mut self, v: VertexId) -> Weight;
+}
+
+/// The zero potential: turns A* back into plain Dijkstra.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ZeroPotential;
+
+impl Potential for ZeroPotential {
+    #[inline]
+    fn estimate(&mut self, _v: VertexId) -> Weight {
+        0
+    }
+}
+
+impl<F: FnMut(VertexId) -> Weight> Potential for F {
+    #[inline]
+    fn estimate(&mut self, v: VertexId) -> Weight {
+        self(v)
+    }
+}
+
+/// A* search from `source` to `target` guided by `potential`.
+///
+/// Returns the distance and path, or `None` if unreachable. With an
+/// admissible potential the result is exact.
+pub fn astar(
+    g: &Graph,
+    weights: &[Weight],
+    source: VertexId,
+    target: VertexId,
+    potential: &mut dyn Potential,
+) -> Option<(Weight, Path)> {
+    let n = g.num_vertices();
+    let mut dist = vec![INFINITY; n];
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    // Heap keys are *tentative costs* f(v) = dist(v) + π(v).
+    let mut heap = BinaryHeap::new();
+
+    dist[source.index()] = 0;
+    heap.push(Reverse((potential.estimate(source), source)));
+
+    while let Some(Reverse((_f, v))) = heap.pop() {
+        if settled[v.index()] {
+            continue;
+        }
+        settled[v.index()] = true;
+        if v == target {
+            let d = dist[target.index()];
+            return Some((d, path_from_parents(source, target, &parent)?));
+        }
+        let d = dist[v.index()];
+        for arc in g.out_arcs(v) {
+            let nd = d + weights[arc.id.index()];
+            if nd < dist[arc.head.index()] && !settled[arc.head.index()] {
+                dist[arc.head.index()] = nd;
+                parent[arc.head.index()] = Some(v);
+                heap.push(Reverse((nd + potential.estimate(arc.head), arc.head)));
+            }
+        }
+    }
+    None
+}
+
+/// Returns the path found along with how many vertices A* settled — the
+/// instrumentation used to compare pruning power of lower bounds.
+pub fn astar_counting(
+    g: &Graph,
+    weights: &[Weight],
+    source: VertexId,
+    target: VertexId,
+    potential: &mut dyn Potential,
+) -> (Option<(Weight, Path)>, usize) {
+    // Duplicated tiny loop rather than flag-infested shared core: the
+    // counting variant is test/bench-only.
+    let n = g.num_vertices();
+    let mut dist = vec![INFINITY; n];
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    let mut settled_count = 0usize;
+
+    dist[source.index()] = 0;
+    heap.push(Reverse((potential.estimate(source), source)));
+
+    while let Some(Reverse((_f, v))) = heap.pop() {
+        if settled[v.index()] {
+            continue;
+        }
+        settled[v.index()] = true;
+        settled_count += 1;
+        if v == target {
+            let d = dist[target.index()];
+            return (
+                path_from_parents(source, target, &parent).map(|p| (d, p)),
+                settled_count,
+            );
+        }
+        let d = dist[v.index()];
+        for arc in g.out_arcs(v) {
+            let nd = d + weights[arc.id.index()];
+            if nd < dist[arc.head.index()] && !settled[arc.head.index()] {
+                dist[arc.head.index()] = nd;
+                parent[arc.head.index()] = Some(v);
+                heap.push(Reverse((nd + potential.estimate(arc.head), arc.head)));
+            }
+        }
+    }
+    (None, settled_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::spsp;
+    use crate::gen::{grid_city, GridCityParams};
+
+    /// Straight-line / max-speed potential: admissible because no road is
+    /// traversed faster than free flow.
+    fn euclid_potential(g: &Graph, target: VertexId, ms_per_meter: f64) -> impl FnMut(VertexId) -> Weight + '_ {
+        let t = g.coord(target);
+        move |v: VertexId| (g.coord(v).distance(&t) * ms_per_meter) as Weight
+    }
+
+    #[test]
+    fn zero_potential_equals_dijkstra() {
+        let g = grid_city(&GridCityParams::small(), 11);
+        let w = g.static_weights();
+        let (s, t) = (VertexId(0), VertexId(g.num_vertices() as u32 - 1));
+        let d1 = spsp(&g, w, s, t).map(|r| r.0);
+        let d2 = astar(&g, w, s, t, &mut ZeroPotential).map(|r| r.0);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn admissible_potential_is_exact_and_prunes() {
+        let g = grid_city(&GridCityParams::small(), 13);
+        let w = g.static_weights();
+        let (s, t) = (VertexId(1), VertexId(g.num_vertices() as u32 - 2));
+        let exact = spsp(&g, w, s, t).unwrap();
+        // grid_city static weights are >= 0.04 weight-units per meter
+        // (free-flow), so 0.04/m is admissible.
+        let mut pot = euclid_potential(&g, t, 0.04);
+        let (res, settled_astar) = astar_counting(&g, w, s, t, &mut pot);
+        let (d, p) = res.unwrap();
+        assert_eq!(d, exact.0);
+        assert_eq!(p.cost(&g, w), Some(d));
+        let (_, settled_dijkstra) = astar_counting(&g, w, s, t, &mut ZeroPotential);
+        assert!(
+            settled_astar <= settled_dijkstra,
+            "goal direction must not expand more vertices"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Bidirectional Dijkstra point-to-point search.
+
+use crate::graph::{Direction, Graph};
+use crate::ids::{VertexId, Weight, INFINITY};
+use crate::path::{path_from_parents, Path};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Point-to-point shortest path by simultaneous forward search from
+/// `source` and backward search from `target`.
+///
+/// Alternates between the frontier with the smaller minimum key and stops
+/// when `min_fwd + min_bwd ≥ μ` (the best meeting cost found so far), the
+/// classic correctness criterion. Returns the distance and path or `None`
+/// when `target` is unreachable.
+pub fn bidirectional_spsp(
+    g: &Graph,
+    weights: &[Weight],
+    source: VertexId,
+    target: VertexId,
+) -> Option<(Weight, Path)> {
+    if source == target {
+        return Some((0, Path::trivial(source)));
+    }
+    let n = g.num_vertices();
+    let mut side = [
+        SearchSide::new(n, source),
+        SearchSide::new(n, target),
+    ];
+    let mut mu = INFINITY;
+    let mut meet: Option<VertexId> = None;
+
+    loop {
+        // Pick the side with the smaller tentative minimum.
+        let (min0, min1) = (side[0].min_key(), side[1].min_key());
+        if min0.min(min1) >= INFINITY || min0 + min1 >= mu {
+            break;
+        }
+        let dir_idx = if min0 <= min1 { 0 } else { 1 };
+        let direction = if dir_idx == 0 {
+            Direction::Forward
+        } else {
+            Direction::Backward
+        };
+
+        let Some((d, v)) = side[dir_idx].pop() else {
+            break;
+        };
+        // Meeting-point update: v settled on this side, maybe reached on the
+        // other side already.
+        let other = 1 - dir_idx;
+        if side[other].dist[v.index()] < INFINITY {
+            let cand = d + side[other].dist[v.index()];
+            if cand < mu {
+                mu = cand;
+                meet = Some(v);
+            }
+        }
+        let arcs: Box<dyn Iterator<Item = crate::graph::Arc>> = match direction {
+            Direction::Forward => Box::new(g.out_arcs(v)),
+            Direction::Backward => Box::new(g.in_arcs(v)),
+        };
+        for arc in arcs {
+            let nd = d + weights[arc.id.index()];
+            if nd < side[dir_idx].dist[arc.head.index()] {
+                side[dir_idx].relax(arc.head, nd, v);
+            }
+        }
+    }
+
+    let meet = meet?;
+    let fwd = path_from_parents(source, meet, &side[0].parent)?;
+    // Backward parents trace meet → target.
+    let bwd = path_from_parents(target, meet, &side[1].parent)?;
+    let mut vertices = fwd.vertices().to_vec();
+    vertices.extend(bwd.vertices().iter().rev().skip(1));
+    Some((mu, Path::new(vertices)))
+}
+
+struct SearchSide {
+    dist: Vec<Weight>,
+    parent: Vec<Option<VertexId>>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<Reverse<(Weight, VertexId)>>,
+}
+
+impl SearchSide {
+    fn new(n: usize, origin: VertexId) -> Self {
+        let mut s = SearchSide {
+            dist: vec![INFINITY; n],
+            parent: vec![None; n],
+            settled: vec![false; n],
+            heap: BinaryHeap::new(),
+        };
+        s.dist[origin.index()] = 0;
+        s.heap.push(Reverse((0, origin)));
+        s
+    }
+
+    fn min_key(&mut self) -> Weight {
+        // Skim stale entries so peeked keys are accurate.
+        while let Some(&Reverse((d, v))) = self.heap.peek() {
+            if self.settled[v.index()] && d > self.dist[v.index()] {
+                self.heap.pop();
+            } else {
+                return d;
+            }
+        }
+        INFINITY
+    }
+
+    fn pop(&mut self) -> Option<(Weight, VertexId)> {
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if !self.settled[v.index()] {
+                self.settled[v.index()] = true;
+                return Some((d, v));
+            }
+        }
+        None
+    }
+
+    fn relax(&mut self, v: VertexId, d: Weight, from: VertexId) {
+        self.dist[v.index()] = d;
+        self.parent[v.index()] = Some(from);
+        self.heap.push(Reverse((d, v)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::spsp;
+    use crate::gen::{grid_city, GridCityParams};
+
+    #[test]
+    fn matches_unidirectional_on_random_city() {
+        let g = grid_city(&GridCityParams::small(), 7);
+        let w = g.static_weights();
+        let n = g.num_vertices() as u32;
+        let pairs = [(0u32, n - 1), (3, n / 2), (n / 3, 2), (n - 2, 1)];
+        for &(a, b) in &pairs {
+            let uni = spsp(&g, w, VertexId(a), VertexId(b));
+            let bi = bidirectional_spsp(&g, w, VertexId(a), VertexId(b));
+            match (uni, bi) {
+                (Some((du, pu)), Some((db, pb))) => {
+                    assert_eq!(du, db, "distance mismatch {a}->{b}");
+                    assert_eq!(pu.cost(&g, w), Some(du));
+                    assert_eq!(pb.cost(&g, w), Some(db), "bidir path invalid");
+                }
+                (None, None) => {}
+                other => panic!("reachability mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = grid_city(&GridCityParams::small(), 1);
+        let r = bidirectional_spsp(&g, g.static_weights(), VertexId(5), VertexId(5)).unwrap();
+        assert_eq!(r.0, 0);
+        assert_eq!(r.1.hops(), 0);
+    }
+}

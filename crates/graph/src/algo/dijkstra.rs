@@ -1,0 +1,233 @@
+//! Plain Dijkstra single-source search with flexible stopping.
+
+use crate::graph::{Direction, Graph};
+use crate::ids::{VertexId, Weight, INFINITY};
+use crate::path::{path_from_parents, Path};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Output of a (possibly truncated) Dijkstra run.
+#[derive(Clone, Debug)]
+pub struct SsspResult {
+    /// `dist[v]` = shortest distance from the source to `v`, or
+    /// [`INFINITY`](crate::INFINITY) if `v` was not settled before the run
+    /// stopped.
+    pub dist: Vec<Weight>,
+    /// Predecessor of each vertex on its shortest path.
+    pub parent: Vec<Option<VertexId>>,
+    /// Vertices in the order they were settled.
+    pub settled: Vec<VertexId>,
+}
+
+impl SsspResult {
+    /// Reconstructs the shortest path from the run's source to `target`, if
+    /// `target` was settled.
+    pub fn path_to(&self, source: VertexId, target: VertexId) -> Option<Path> {
+        if self.dist[target.index()] >= INFINITY {
+            return None;
+        }
+        path_from_parents(source, target, &self.parent)
+    }
+}
+
+/// Full single-source shortest paths from `source` under `weights`.
+pub fn sssp(g: &Graph, weights: &[Weight], source: VertexId) -> SsspResult {
+    sssp_until(g, weights, source, Direction::Forward, |_, _| false)
+}
+
+/// Dijkstra from `source` in the given `direction`, stopping early after a
+/// vertex is settled for which `stop(vertex, distance)` returns `true`.
+///
+/// The stopping vertex itself is settled and recorded, so
+/// `stop = |v, _| v == target` yields a correct point-to-point search.
+pub fn sssp_until(
+    g: &Graph,
+    weights: &[Weight],
+    source: VertexId,
+    direction: Direction,
+    mut stop: impl FnMut(VertexId, Weight) -> bool,
+) -> SsspResult {
+    debug_assert_eq!(weights.len(), g.num_arcs(), "weights indexed by arc id");
+    let n = g.num_vertices();
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut settled_flag = vec![false; n];
+    let mut settled = Vec::new();
+    let mut heap = BinaryHeap::new();
+
+    dist[source.index()] = 0;
+    heap.push(Reverse((0u64, source)));
+
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if settled_flag[v.index()] {
+            continue; // stale heap entry (lazy deletion)
+        }
+        settled_flag[v.index()] = true;
+        settled.push(v);
+        if stop(v, d) {
+            break;
+        }
+        let arcs: Box<dyn Iterator<Item = crate::graph::Arc>> = match direction {
+            Direction::Forward => Box::new(g.out_arcs(v)),
+            Direction::Backward => Box::new(g.in_arcs(v)),
+        };
+        for arc in arcs {
+            let nd = d + weights[arc.id.index()];
+            if nd < dist[arc.head.index()] {
+                dist[arc.head.index()] = nd;
+                parent[arc.head.index()] = Some(v);
+                heap.push(Reverse((nd, arc.head)));
+            }
+        }
+    }
+
+    SsspResult {
+        dist,
+        parent,
+        settled,
+    }
+}
+
+/// Point-to-point shortest path; returns the distance and the path, or
+/// `None` if `target` is unreachable from `source`.
+pub fn spsp(
+    g: &Graph,
+    weights: &[Weight],
+    source: VertexId,
+    target: VertexId,
+) -> Option<(Weight, Path)> {
+    let run = sssp_until(g, weights, source, Direction::Forward, |v, _| v == target);
+    let d = run.dist[target.index()];
+    if d >= INFINITY {
+        return None;
+    }
+    Some((d, run.path_to(source, target)?))
+}
+
+/// The `k` nearest vertices to `source` (including `source` itself at
+/// distance 0), in ascending distance order — the paper's kNN query.
+pub fn k_nearest(
+    g: &Graph,
+    weights: &[Weight],
+    source: VertexId,
+    k: usize,
+) -> Vec<(VertexId, Weight)> {
+    let mut out = Vec::with_capacity(k);
+    let run = sssp_until(g, weights, source, Direction::Forward, |v, d| {
+        out.push((v, d));
+        out.len() >= k
+    });
+    // If the component ran out before k vertices, `out` holds what exists.
+    let _ = run;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::ids::Coord;
+
+    /// The paper's Figure 3 joint road network Ḡ (8 vertices, 11 edges).
+    pub(crate) fn figure3_joint() -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..8 {
+            b.add_vertex(Coord {
+                x: (i % 4) as f64,
+                y: (i / 4) as f64,
+            });
+        }
+        // Joint weights from the paper example: the SPSP v7→v3 is
+        // ⟨v7, v8, v3⟩ with cost 7. Vertices are 1-indexed in the paper.
+        let v = |i: u32| VertexId(i - 1);
+        let edges: &[(u32, u32, u64)] = &[
+            (1, 2, 6),
+            (1, 6, 3),
+            (2, 3, 6),
+            (2, 8, 2),
+            (3, 4, 5),
+            (3, 8, 3),
+            (4, 5, 3),
+            (4, 8, 4),
+            (5, 6, 3),
+            (6, 7, 2),
+            (7, 8, 4),
+        ];
+        for &(a, bb, w) in edges {
+            b.add_bidirectional(v(a), v(bb), w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn paper_example_spsp_v7_v3() {
+        let g = figure3_joint();
+        let (d, p) = spsp(&g, g.static_weights(), VertexId(6), VertexId(2)).unwrap();
+        assert_eq!(d, 7);
+        assert_eq!(p.vertices(), &[VertexId(6), VertexId(7), VertexId(2)]);
+    }
+
+    #[test]
+    fn paper_example_knn_from_v2() {
+        let g = figure3_joint();
+        let knn = k_nearest(&g, g.static_weights(), VertexId(1), 3);
+        // Paper Example 2: (v2, ⟨v2⟩), (v8, ⟨v2,v8⟩), (v3, ⟨v2,v8,v3⟩).
+        assert_eq!(
+            knn,
+            vec![(VertexId(1), 0), (VertexId(7), 2), (VertexId(2), 5)]
+        );
+    }
+
+    #[test]
+    fn sssp_distances_satisfy_triangle_on_arcs() {
+        let g = figure3_joint();
+        let run = sssp(&g, g.static_weights(), VertexId(0));
+        for v in g.vertices() {
+            for arc in g.out_arcs(v) {
+                assert!(
+                    run.dist[arc.head.index()]
+                        <= run.dist[v.index()] + g.static_weight(arc.id),
+                    "relaxed arc violates shortest-path property"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_search_matches_forward_on_reversed_pair() {
+        let g = figure3_joint();
+        let fwd = sssp(&g, g.static_weights(), VertexId(6));
+        let bwd = sssp_until(
+            &g,
+            g.static_weights(),
+            VertexId(2),
+            Direction::Backward,
+            |_, _| false,
+        );
+        // Undirected graph: dist(v7→v3) forward == dist(v3→v7) backward.
+        assert_eq!(fwd.dist[VertexId(2).index()], bwd.dist[VertexId(6).index()]);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_infinite() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(Coord { x: 0.0, y: 0.0 });
+        let c = b.add_vertex(Coord { x: 1.0, y: 0.0 });
+        b.add_arc(a, c, 1);
+        let g = b.build();
+        let run = sssp(&g, g.static_weights(), c);
+        assert_eq!(run.dist[a.index()], INFINITY);
+        assert!(spsp(&g, g.static_weights(), c, a).is_none());
+    }
+
+    #[test]
+    fn knn_truncates_on_small_components() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(Coord { x: 0.0, y: 0.0 });
+        let c = b.add_vertex(Coord { x: 1.0, y: 0.0 });
+        b.add_bidirectional(a, c, 1);
+        let g = b.build();
+        let knn = k_nearest(&g, g.static_weights(), a, 10);
+        assert_eq!(knn.len(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Local ALT (A*, Landmarks, Triangle inequality) potential.
+
+use crate::algo::Potential;
+use crate::ids::{VertexId, Weight};
+use crate::landmarks::LandmarkTable;
+
+/// ALT potential toward a fixed target, backed by a [`LandmarkTable`].
+///
+/// `estimate(v) = max_l max(to[l][v] − to[l][t], from[l][t] − from[l][v])`,
+/// which is admissible and consistent when the table was computed under the
+/// same weight set the search runs on. When the table is computed under the
+/// *static* weights but the search runs under congested weights, the bound
+/// can exceed true distances — the paper's Figure 11 "ALT" baseline shows
+/// exactly this failure mode, and we reproduce it in `fedroad-bench`.
+pub struct AltPotential<'a> {
+    table: &'a LandmarkTable,
+    target: VertexId,
+}
+
+impl<'a> AltPotential<'a> {
+    /// Creates a potential toward `target`.
+    pub fn new(table: &'a LandmarkTable, target: VertexId) -> Self {
+        AltPotential { table, target }
+    }
+}
+
+impl Potential for AltPotential<'_> {
+    #[inline]
+    fn estimate(&mut self, v: VertexId) -> Weight {
+        self.table.best_bound(v, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{astar, astar_counting, spsp, ZeroPotential};
+    use crate::gen::{grid_city, GridCityParams};
+    use crate::landmarks::select_landmarks;
+
+    #[test]
+    fn alt_guided_astar_is_exact() {
+        let g = grid_city(&GridCityParams::small(), 14);
+        let w = g.static_weights();
+        let table = LandmarkTable::compute(&g, w, &select_landmarks(&g, 6));
+        let n = g.num_vertices() as u32;
+        for (s, t) in [(0, n - 1), (7, 55), (91, 12)] {
+            let (exact, _) = spsp(&g, w, VertexId(s), VertexId(t)).unwrap();
+            let mut pot = AltPotential::new(&table, VertexId(t));
+            let (d, p) = astar(&g, w, VertexId(s), VertexId(t), &mut pot).unwrap();
+            assert_eq!(d, exact);
+            assert_eq!(p.cost(&g, w), Some(d));
+        }
+    }
+
+    #[test]
+    fn alt_prunes_versus_dijkstra() {
+        let g = grid_city(&GridCityParams::small(), 15);
+        let w = g.static_weights();
+        let table = LandmarkTable::compute(&g, w, &select_landmarks(&g, 8));
+        let (s, t) = (VertexId(0), VertexId(g.num_vertices() as u32 - 1));
+        let mut pot = AltPotential::new(&table, t);
+        let (_, settled_alt) = astar_counting(&g, w, s, t, &mut pot);
+        let (_, settled_dij) = astar_counting(&g, w, s, t, &mut ZeroPotential);
+        assert!(
+            settled_alt < settled_dij,
+            "ALT ({settled_alt}) should settle fewer vertices than Dijkstra ({settled_dij})"
+        );
+    }
+}

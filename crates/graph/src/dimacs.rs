@@ -1,0 +1,262 @@
+//! Parser for the 9th DIMACS Implementation Challenge road-network format.
+//!
+//! The paper's datasets (CAL, FLA) are distributed in this format: a `.gr`
+//! file with `a <tail> <head> <weight>` arc lines and an optional `.co`
+//! file with `v <id> <x> <y>` coordinate lines. Vertices are 1-indexed in
+//! the files and mapped to 0-indexed [`VertexId`]s here. Parallel arcs are
+//! deduplicated to the minimum weight (the workspace maintains a
+//! simple-graph invariant).
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::{Coord, VertexId, Weight};
+use std::collections::HashMap;
+
+/// Errors from DIMACS parsing.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DimacsError {
+    /// The `p sp <n> <m>` problem line is missing or malformed.
+    MissingProblemLine,
+    /// A line could not be parsed; carries the 1-based line number.
+    Malformed(usize),
+    /// An arc or coordinate references a vertex id outside `1..=n`.
+    VertexOutOfRange(usize),
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::MissingProblemLine => write!(f, "missing `p sp n m` problem line"),
+            DimacsError::Malformed(line) => write!(f, "malformed DIMACS line {line}"),
+            DimacsError::VertexOutOfRange(line) => {
+                write!(f, "vertex id out of range on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses a `.gr` graph file and an optional `.co` coordinate file.
+///
+/// Missing coordinates default to a unit line layout (coordinates only
+/// matter for geometric potentials and generators, not correctness).
+pub fn parse_dimacs(gr: &str, co: Option<&str>) -> Result<Graph, DimacsError> {
+    let mut num_vertices: Option<usize> = None;
+    let mut arcs: HashMap<(u32, u32), Weight> = HashMap::new();
+
+    for (lineno, line) in gr.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("p") => {
+                // p sp <n> <m>
+                let _sp = it.next();
+                let n = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or(DimacsError::Malformed(lineno))?;
+                num_vertices = Some(n);
+            }
+            Some("a") => {
+                let n = num_vertices.ok_or(DimacsError::MissingProblemLine)?;
+                let tail: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(DimacsError::Malformed(lineno))?;
+                let head: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(DimacsError::Malformed(lineno))?;
+                let w: Weight = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(DimacsError::Malformed(lineno))?;
+                if tail == 0 || head == 0 || tail > n || head > n {
+                    return Err(DimacsError::VertexOutOfRange(lineno));
+                }
+                let key = ((tail - 1) as u32, (head - 1) as u32);
+                let w = w.max(1); // zero weights are not representable here
+                arcs.entry(key)
+                    .and_modify(|old| *old = (*old).min(w))
+                    .or_insert(w);
+            }
+            _ => return Err(DimacsError::Malformed(lineno)),
+        }
+    }
+
+    let n = num_vertices.ok_or(DimacsError::MissingProblemLine)?;
+
+    // Coordinates.
+    let mut coords: Vec<Coord> = (0..n)
+        .map(|i| Coord {
+            x: i as f64,
+            y: 0.0,
+        })
+        .collect();
+    if let Some(co) = co {
+        for (lineno, line) in co.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            if it.next() != Some("v") {
+                return Err(DimacsError::Malformed(lineno));
+            }
+            let id: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(DimacsError::Malformed(lineno))?;
+            let x: f64 = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(DimacsError::Malformed(lineno))?;
+            let y: f64 = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(DimacsError::Malformed(lineno))?;
+            if id == 0 || id > n {
+                return Err(DimacsError::VertexOutOfRange(lineno));
+            }
+            coords[id - 1] = Coord { x, y };
+        }
+    }
+
+    let mut b = GraphBuilder::new();
+    for c in coords {
+        b.add_vertex(c);
+    }
+    // Deterministic arc order regardless of hash-map iteration.
+    let mut sorted: Vec<((u32, u32), Weight)> = arcs.into_iter().collect();
+    sorted.sort_unstable();
+    for ((tail, head), w) in sorted {
+        b.add_arc(VertexId(tail), VertexId(head), w);
+    }
+    Ok(b.build())
+}
+
+/// Serializes a graph to the DIMACS `.gr` format (arcs with weights).
+///
+/// Together with [`parse_dimacs`] this gives lossless interchange with the
+/// 9th-DIMACS-challenge tooling the paper's datasets ship in.
+pub fn write_gr(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("c generated by fedroad-graph\n");
+    out.push_str(&format!(
+        "p sp {} {}\n",
+        graph.num_vertices(),
+        graph.num_arcs()
+    ));
+    for v in graph.vertices() {
+        for arc in graph.out_arcs(v) {
+            out.push_str(&format!(
+                "a {} {} {}\n",
+                v.0 + 1,
+                arc.head.0 + 1,
+                graph.static_weight(arc.id)
+            ));
+        }
+    }
+    out
+}
+
+/// Serializes vertex coordinates to the DIMACS `.co` format.
+pub fn write_co(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("c generated by fedroad-graph\n");
+    out.push_str(&format!("p aux sp co {}\n", graph.num_vertices()));
+    for v in graph.vertices() {
+        let c = graph.coord(v);
+        out.push_str(&format!("v {} {} {}\n", v.0 + 1, c.x as i64, c.y as i64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::spsp;
+
+    const SAMPLE_GR: &str = "c tiny test graph\n\
+        p sp 4 5\n\
+        a 1 2 10\n\
+        a 2 3 10\n\
+        a 1 3 25\n\
+        a 3 4 5\n\
+        a 1 3 30\n";
+
+    const SAMPLE_CO: &str = "c coords\n\
+        v 1 0 0\n\
+        v 2 100 0\n\
+        v 3 200 0\n\
+        v 4 300 0\n";
+
+    #[test]
+    fn parses_and_dedupes_parallel_arcs() {
+        let g = parse_dimacs(SAMPLE_GR, Some(SAMPLE_CO)).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_arcs(), 4, "parallel 1->3 arcs deduplicated");
+        let a = g.find_arc(VertexId(0), VertexId(2)).unwrap();
+        assert_eq!(g.static_weight(a), 25, "minimum of parallel weights kept");
+        let (d, _) = spsp(&g, g.static_weights(), VertexId(0), VertexId(3)).unwrap();
+        assert_eq!(d, 25);
+    }
+
+    #[test]
+    fn coordinates_are_applied() {
+        let g = parse_dimacs(SAMPLE_GR, Some(SAMPLE_CO)).unwrap();
+        assert_eq!(g.coord(VertexId(2)).x, 200.0);
+    }
+
+    #[test]
+    fn missing_problem_line_is_an_error() {
+        assert_eq!(
+            parse_dimacs("a 1 2 3\n", None).err(),
+            Some(DimacsError::MissingProblemLine)
+        );
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let r = parse_dimacs("p sp 2 1\na 1 x 3\n", None);
+        assert_eq!(r.err(), Some(DimacsError::Malformed(2)));
+    }
+
+    #[test]
+    fn out_of_range_vertices_rejected() {
+        let r = parse_dimacs("p sp 2 1\na 1 5 3\n", None);
+        assert_eq!(r.err(), Some(DimacsError::VertexOutOfRange(2)));
+    }
+
+    #[test]
+    fn write_parse_roundtrip_preserves_distances() {
+        use crate::gen::{grid_city, GridCityParams};
+        let g = grid_city(&GridCityParams::small(), 9);
+        let gr = write_gr(&g);
+        let co = write_co(&g);
+        let g2 = parse_dimacs(&gr, Some(&co)).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_arcs(), g.num_arcs());
+        // Distances are identical on a sample of pairs.
+        for (s, t) in [(0u32, 99u32), (5, 50), (73, 12)] {
+            let a = spsp(&g, g.static_weights(), VertexId(s), VertexId(t)).map(|r| r.0);
+            let b = spsp(&g2, g2.static_weights(), VertexId(s), VertexId(t)).map(|r| r.0);
+            assert_eq!(a, b);
+        }
+        // Coordinates survive (integer-truncated).
+        let c1 = g.coord(VertexId(42));
+        let c2 = g2.coord(VertexId(42));
+        assert!((c1.x as i64 - c2.x as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = parse_dimacs("c hi\n\np sp 2 1\nc mid\na 1 2 7\n", None).unwrap();
+        assert_eq!(g.num_arcs(), 1);
+    }
+}

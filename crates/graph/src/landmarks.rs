@@ -1,0 +1,200 @@
+//! Landmark selection and vertex↔landmark distance tables.
+//!
+//! Landmarks are chosen on the *public static* graph (they must be agreed by
+//! all silos without communication, and the paper states they are "public
+//! and static regardless of the changes of the edge weights"). Distance
+//! tables, by contrast, can be computed under any weight set: the static
+//! `W0` (for ALT and Fed-ALT-Max's landmark pick) or, in `fedroad-core`,
+//! collaboratively under the joint weights (for Fed-ALT).
+
+use crate::algo::sssp_until;
+use crate::graph::{Direction, Graph};
+use crate::ids::{VertexId, Weight, INFINITY};
+
+/// Selects `count` landmarks by the farthest-point heuristic on the static
+/// weights: start from the vertex farthest from vertex 0, then repeatedly
+/// add the vertex maximizing the minimum distance to the chosen set.
+///
+/// Deterministic: depends only on the graph, so every silo computes the
+/// same set locally.
+pub fn select_landmarks(g: &Graph, count: usize) -> Vec<VertexId> {
+    assert!(count >= 1, "need at least one landmark");
+    assert!(g.num_vertices() >= count, "more landmarks than vertices");
+    let w0 = g.static_weights();
+
+    // min_dist[v] = distance from v to the closest chosen landmark
+    // (symmetrized via forward search from each landmark).
+    let mut min_dist = vec![INFINITY; g.num_vertices()];
+    let mut landmarks = Vec::with_capacity(count);
+
+    // Seed: farthest vertex from v0 (a boundary vertex, per ALT practice).
+    let from_v0 = sssp_until(g, w0, VertexId(0), Direction::Forward, |_, _| false);
+    let seed = arg_max_finite(&from_v0.dist).unwrap_or(VertexId(0));
+    landmarks.push(seed);
+    update_min_dist(g, w0, seed, &mut min_dist);
+
+    while landmarks.len() < count {
+        let next = (0..g.num_vertices() as u32)
+            .map(VertexId)
+            .filter(|v| !landmarks.contains(v))
+            .max_by_key(|v| {
+                let d = min_dist[v.index()];
+                // Deterministic tie-break on the id keeps silos consistent.
+                (if d >= INFINITY { 0 } else { d }, u32::MAX - v.0)
+            })
+            .expect("count <= |V| checked above");
+        landmarks.push(next);
+        update_min_dist(g, w0, next, &mut min_dist);
+    }
+    landmarks
+}
+
+fn update_min_dist(g: &Graph, w: &[Weight], l: VertexId, min_dist: &mut [Weight]) {
+    let run = sssp_until(g, w, l, Direction::Forward, |_, _| false);
+    for (md, d) in min_dist.iter_mut().zip(&run.dist) {
+        *md = (*md).min(*d);
+    }
+}
+
+fn arg_max_finite(dist: &[Weight]) -> Option<VertexId> {
+    dist.iter()
+        .enumerate()
+        .filter(|(_, &d)| d < INFINITY)
+        .max_by_key(|(i, &d)| (d, usize::MAX - i))
+        .map(|(i, _)| VertexId(i as u32))
+}
+
+/// Vertex↔landmark distance tables under one weight set.
+///
+/// `to[l][v]` = dist(v → landmark l), `from[l][v]` = dist(landmark l → v),
+/// both needed for correct triangle-inequality bounds on directed graphs.
+#[derive(Clone, Debug)]
+pub struct LandmarkTable {
+    /// Landmark vertex ids, in selection order.
+    pub landmarks: Vec<VertexId>,
+    /// `to[l][v]` = dist(v → landmarks\[l\]).
+    pub to: Vec<Vec<Weight>>,
+    /// `from[l][v]` = dist(landmarks\[l\] → v).
+    pub from: Vec<Vec<Weight>>,
+}
+
+impl LandmarkTable {
+    /// Computes both distance tables for `landmarks` under `weights`.
+    ///
+    /// Uses one backward and one forward Dijkstra per landmark
+    /// (`2·|L|` single-source runs).
+    pub fn compute(g: &Graph, weights: &[Weight], landmarks: &[VertexId]) -> Self {
+        let to = landmarks
+            .iter()
+            .map(|&l| sssp_until(g, weights, l, Direction::Backward, |_, _| false).dist)
+            .collect();
+        let from = landmarks
+            .iter()
+            .map(|&l| sssp_until(g, weights, l, Direction::Forward, |_, _| false).dist)
+            .collect();
+        LandmarkTable {
+            landmarks: landmarks.to_vec(),
+            to,
+            from,
+        }
+    }
+
+    /// Number of landmarks `|L|`.
+    pub fn len(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// True when no landmarks are present.
+    pub fn is_empty(&self) -> bool {
+        self.landmarks.is_empty()
+    }
+
+    /// The lower bound on dist(v → t) contributed by landmark `l` alone:
+    /// `max(to[l][v] − to[l][t], from[l][t] − from[l][v], 0)`.
+    #[inline]
+    pub fn bound_by(&self, l: usize, v: VertexId, t: VertexId) -> Weight {
+        let a = self.to[l][v.index()].saturating_sub(self.to[l][t.index()]);
+        let b = self.from[l][t.index()].saturating_sub(self.from[l][v.index()]);
+        sanitize(a.max(b))
+    }
+
+    /// The tightest lower bound over all landmarks (classic ALT).
+    pub fn best_bound(&self, v: VertexId, t: VertexId) -> Weight {
+        (0..self.len())
+            .map(|l| self.bound_by(l, v, t))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The index of the landmark giving the tightest bound (ties to the
+    /// smallest index) — Fed-ALT-Max's plain-text "farthest landmark" pick.
+    pub fn best_landmark(&self, v: VertexId, t: VertexId) -> usize {
+        (0..self.len())
+            .max_by_key(|&l| (self.bound_by(l, v, t), usize::MAX - l))
+            .expect("non-empty landmark set")
+    }
+}
+
+/// Differences involving unreachable (INFINITY) entries are meaningless;
+/// clamp them to 0 so the bound stays admissible.
+#[inline]
+fn sanitize(d: Weight) -> Weight {
+    if d >= INFINITY / 2 {
+        0
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::spsp;
+    use crate::gen::{grid_city, GridCityParams};
+
+    #[test]
+    fn selection_is_deterministic_and_distinct() {
+        let g = grid_city(&GridCityParams::small(), 5);
+        let a = select_landmarks(&g, 6);
+        let b = select_landmarks(&g, 6);
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6, "landmarks must be distinct");
+    }
+
+    #[test]
+    fn bounds_are_admissible() {
+        let g = grid_city(&GridCityParams::small(), 8);
+        let w = g.static_weights();
+        let lms = select_landmarks(&g, 4);
+        let table = LandmarkTable::compute(&g, w, &lms);
+        let n = g.num_vertices() as u32;
+        for (s, t) in [(0, n - 1), (5, n / 2), (n / 3, 7), (n - 3, 2)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let (true_d, _) = spsp(&g, w, s, t).unwrap();
+            let bound = table.best_bound(s, t);
+            assert!(
+                bound <= true_d,
+                "ALT bound {bound} exceeds true distance {true_d}"
+            );
+        }
+    }
+
+    #[test]
+    fn best_landmark_attains_best_bound() {
+        let g = grid_city(&GridCityParams::small(), 2);
+        let table = LandmarkTable::compute(&g, g.static_weights(), &select_landmarks(&g, 5));
+        let (s, t) = (VertexId(3), VertexId(90));
+        let l = table.best_landmark(s, t);
+        assert_eq!(table.bound_by(l, s, t), table.best_bound(s, t));
+    }
+
+    #[test]
+    fn bound_to_self_is_zero() {
+        let g = grid_city(&GridCityParams::small(), 2);
+        let table = LandmarkTable::compute(&g, g.static_weights(), &select_landmarks(&g, 3));
+        assert_eq!(table.best_bound(VertexId(7), VertexId(7)), 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Traffic simulation: congestion patterns, per-silo weight sets, and the
+//! data-volume observation model behind the paper's Figure 1.
+
+use crate::graph::Graph;
+use crate::ids::Weight;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// The paper's four congestion levels (§VIII-A), parameterized by the
+/// congested-edge ratio `β` and the maximum slowdown `θ_max`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CongestionLevel {
+    /// `β = θ_max = 0`: the static free-flow weights.
+    Free,
+    /// `β = 10 %, θ_max = 30 %`.
+    Slight,
+    /// `β = 20 %, θ_max = 50 %` — the paper's default.
+    Moderate,
+    /// `β = 50 %, θ_max = 100 %`.
+    Heavy,
+}
+
+impl CongestionLevel {
+    /// All levels in increasing severity.
+    pub const ALL: [CongestionLevel; 4] = [
+        CongestionLevel::Free,
+        CongestionLevel::Slight,
+        CongestionLevel::Moderate,
+        CongestionLevel::Heavy,
+    ];
+
+    /// `(β, θ_max)` for this level.
+    pub fn params(self) -> (f64, f64) {
+        match self {
+            CongestionLevel::Free => (0.0, 0.0),
+            CongestionLevel::Slight => (0.10, 0.30),
+            CongestionLevel::Moderate => (0.20, 0.50),
+            CongestionLevel::Heavy => (0.50, 1.00),
+        }
+    }
+
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CongestionLevel::Free => "Free",
+            CongestionLevel::Slight => "Slight",
+            CongestionLevel::Moderate => "Moderate",
+            CongestionLevel::Heavy => "Heavy",
+        }
+    }
+}
+
+/// Generates the private weight sets `W_1 … W_P` of a `P`-silo federation
+/// under the paper's congestion model.
+///
+/// A shared congested subset `E_c ⊂ E` of ratio `β` is drawn once (the real
+/// traffic jam is the same physical phenomenon for everyone); then each silo
+/// independently samples its observed slowdown `θ ~ U(0, θ_max)` for every
+/// congested arc — exactly the paper's `P·|E_c|` samplings. Uncongested
+/// arcs keep the static weight on every silo.
+pub fn gen_silo_weights(
+    g: &Graph,
+    level: CongestionLevel,
+    num_silos: usize,
+    seed: u64,
+) -> Vec<Vec<Weight>> {
+    let (beta, theta_max) = level.params();
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x7AFF_1C00_5EED_0001);
+    let congested: Vec<bool> = (0..g.num_arcs()).map(|_| rng.gen_bool(beta)).collect();
+
+    (0..num_silos)
+        .map(|p| {
+            let mut silo_rng =
+                ChaCha12Rng::seed_from_u64(seed ^ 0x5110_0000 ^ (p as u64).wrapping_mul(0x9E37_79B9));
+            g.static_weights()
+                .iter()
+                .zip(&congested)
+                .map(|(&w0, &is_congested)| {
+                    if is_congested && theta_max > 0.0 {
+                        let theta = silo_rng.gen_range(0.0..theta_max);
+                        scale_weight(w0, 1.0 + theta)
+                    } else {
+                        w0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Multiplies a weight by a factor, rounding and keeping it positive.
+fn scale_weight(w: Weight, factor: f64) -> Weight {
+    ((w as f64) * factor).round().max(1.0) as Weight
+}
+
+/// Averages `P` weight vectors arc-wise — the joint weight of Equation 1.
+///
+/// Only used by test oracles and the observation model; production federated
+/// code never materializes joint weights (that is the whole point of
+/// FedRoad).
+pub fn joint_weights(silo_weights: &[Vec<Weight>]) -> Vec<Weight> {
+    assert!(!silo_weights.is_empty());
+    let m = silo_weights[0].len();
+    let p = silo_weights.len() as u64;
+    (0..m)
+        .map(|i| {
+            let sum: u64 = silo_weights.iter().map(|w| w[i]).sum();
+            // Integer average; all silos use the same convention so
+            // comparisons of P·cost (what Fed-SAC actually compares) are
+            // exact and this rounding only affects reported costs.
+            sum / p
+        })
+        .collect()
+}
+
+/// Observation model behind Figure 1: how the *volume* of traffic data
+/// affects routing quality.
+///
+/// The paper measured this with Beijing taxi trajectories: a full (1×)
+/// trajectory set defines ground truth, and subsampled sets (0.5×, 0.25×)
+/// simulate platforms with less data. We substitute a sampling-noise model:
+/// the ground truth is a congested weight assignment, and a platform with
+/// data volume `x` observes each arc through `n ∝ x` noisy speed samples,
+/// so its estimate has variance ∝ 1/x. Averaging `P` platforms (the
+/// federation) multiplies the sample count by `P` — the same mechanism that
+/// makes the paper's "Aggregated data" curve the most accurate.
+#[derive(Clone, Debug)]
+pub struct ObservationModel {
+    /// Ground-truth congested weights.
+    truth: Vec<Weight>,
+    /// Static free-flow weights (observation floor: traffic never makes a
+    /// road faster than free flow).
+    floor: Vec<Weight>,
+    /// Number of samples per arc at data volume 1×.
+    samples_at_full: u32,
+    /// Relative standard deviation of a single speed sample.
+    sample_rel_sd: f64,
+    seed: u64,
+}
+
+impl ObservationModel {
+    /// Creates the model over ground-truth weights `truth` for graph `g`.
+    pub fn new(g: &Graph, truth: Vec<Weight>, seed: u64) -> Self {
+        assert_eq!(truth.len(), g.num_arcs());
+        ObservationModel {
+            floor: g.static_weights().to_vec(),
+            truth,
+            samples_at_full: 8,
+            sample_rel_sd: 0.35,
+            seed,
+        }
+    }
+
+    /// Ground-truth weights.
+    pub fn truth(&self) -> &[Weight] {
+        &self.truth
+    }
+
+    /// One platform's observed weight set at data volume `volume` (1.0 =
+    /// the full trajectory set). `platform` seeds the platform's private
+    /// noise stream.
+    pub fn observe(&self, volume: f64, platform: u64) -> Vec<Weight> {
+        assert!(volume > 0.0 && volume <= 1.0);
+        let n = ((self.samples_at_full as f64) * volume).round().max(1.0) as u32;
+        let mut rng = ChaCha12Rng::seed_from_u64(
+            self.seed ^ 0x0B5E_52F3 ^ platform.wrapping_mul(0xA24B_AED4_963E_E407),
+        );
+        self.truth
+            .iter()
+            .zip(&self.floor)
+            .map(|(&t, &f)| {
+                // Mean of n noisy samples; each sample multiplies the true
+                // travel time by (1 + ε), ε ≈ N(0, sd) via Irwin–Hall(12).
+                let mut acc = 0.0f64;
+                for _ in 0..n {
+                    let eps = self.sample_rel_sd * approx_std_normal(&mut rng);
+                    acc += (t as f64) * (1.0 + eps);
+                }
+                let est = (acc / n as f64).round().max(f.min(t) as f64) as Weight;
+                est.max(f.min(t)).max(1)
+            })
+            .collect()
+    }
+
+    /// The federated view: the arc-wise average of `num_platforms`
+    /// platforms' observations at volume `volume` each.
+    pub fn aggregate(&self, volume: f64, num_platforms: usize) -> Vec<Weight> {
+        let obs: Vec<Vec<Weight>> = (0..num_platforms)
+            .map(|p| self.observe(volume, p as u64))
+            .collect();
+        joint_weights(&obs)
+    }
+}
+
+/// Standard-normal approximation as `Σ₁¹² U(0,1) − 6` (Irwin–Hall), which
+/// keeps us inside the pre-approved `rand` crate (no `rand_distr`).
+fn approx_std_normal(rng: &mut impl Rng) -> f64 {
+    let s: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum();
+    s - 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{grid_city, GridCityParams};
+
+    fn city() -> Graph {
+        grid_city(&GridCityParams::small(), 3)
+    }
+
+    #[test]
+    fn free_level_keeps_static_weights() {
+        let g = city();
+        let ws = gen_silo_weights(&g, CongestionLevel::Free, 3, 9);
+        for w in &ws {
+            assert_eq!(w.as_slice(), g.static_weights());
+        }
+    }
+
+    #[test]
+    fn congestion_only_increases_weights() {
+        let g = city();
+        for level in [CongestionLevel::Slight, CongestionLevel::Heavy] {
+            for w in gen_silo_weights(&g, level, 4, 1) {
+                for (obs, &base) in w.iter().zip(g.static_weights()) {
+                    assert!(*obs >= base, "congestion must not speed roads up");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn congested_arc_set_is_shared_but_samples_differ() {
+        let g = city();
+        let ws = gen_silo_weights(&g, CongestionLevel::Heavy, 3, 5);
+        let w0 = g.static_weights();
+        // An arc congested for one silo is congested for all.
+        for i in 0..g.num_arcs() {
+            let congested: Vec<bool> = ws.iter().map(|w| w[i] != w0[i]).collect();
+            // θ=0 samples can coincide with w0, so only check the common case.
+            if congested.iter().filter(|&&c| c).count() >= 2 {
+                let vals: Vec<Weight> = ws.iter().map(|w| w[i]).collect();
+                // Silos drew independent θ, so at heavy congestion values
+                // rarely all coincide; just assert they're all >= w0.
+                assert!(vals.iter().all(|&v| v >= w0[i]));
+            }
+        }
+        // And the silo weight vectors are not identical.
+        assert_ne!(ws[0], ws[1]);
+    }
+
+    #[test]
+    fn gen_silo_weights_is_deterministic() {
+        let g = city();
+        let a = gen_silo_weights(&g, CongestionLevel::Moderate, 3, 77);
+        let b = gen_silo_weights(&g, CongestionLevel::Moderate, 3, 77);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn joint_weights_average_arcwise() {
+        let ws = vec![vec![2u64, 10, 4], vec![4u64, 20, 5]];
+        assert_eq!(joint_weights(&ws), vec![3, 15, 4]);
+    }
+
+    #[test]
+    fn more_data_means_lower_observation_error() {
+        let g = city();
+        let truth = joint_weights(&gen_silo_weights(&g, CongestionLevel::Heavy, 1, 4));
+        let model = ObservationModel::new(&g, truth, 21);
+        let err = |obs: &[Weight]| -> f64 {
+            obs.iter()
+                .zip(model.truth())
+                .map(|(&o, &t)| ((o as f64 - t as f64) / t as f64).abs())
+                .sum::<f64>()
+                / obs.len() as f64
+        };
+        let quarter = err(&model.observe(0.25, 0));
+        let full = err(&model.observe(1.0, 0));
+        let aggregated = err(&model.aggregate(1.0, 4));
+        assert!(full < quarter, "full={full} quarter={quarter}");
+        assert!(aggregated < full, "aggregated={aggregated} full={full}");
+    }
+
+    #[test]
+    fn observation_is_deterministic_per_platform() {
+        let g = city();
+        let truth = g.static_weights().to_vec();
+        let model = ObservationModel::new(&g, truth, 3);
+        assert_eq!(model.observe(0.5, 1), model.observe(0.5, 1));
+        assert_ne!(model.observe(0.5, 1), model.observe(0.5, 2));
+    }
+}

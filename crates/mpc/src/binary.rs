@@ -1,0 +1,265 @@
+//! Operations on XOR-shared 64-bit words: the binary half of the engine.
+//!
+//! A *shared word* is one `u64` per party whose XOR is the logical value;
+//! each of its 64 bit positions is an independent shared bit, so all
+//! gates below are 64-wide SIMD. Linear gates (XOR, NOT, shifts, AND with a
+//! public constant) are local; the only communicating gate is the
+//! Beaver-triple AND, and the only multi-gate construction is the
+//! Kogge–Stone carry-lookahead adder used by the comparison.
+
+use crate::dealer::Dealer;
+use crate::net::{Mesh, MsgKind};
+
+/// One XOR-shared 64-bit word: `shares[p]` belongs to party `p`.
+pub type SharedWord = Vec<u64>;
+
+/// Local XOR of two shared words.
+pub fn xor_words(x: &SharedWord, y: &SharedWord) -> SharedWord {
+    x.iter().zip(y).map(|(a, b)| a ^ b).collect()
+}
+
+/// Local XOR of a public constant into a shared word (party 0 absorbs it).
+pub fn xor_public(x: &SharedWord, c: u64) -> SharedWord {
+    x.iter()
+        .enumerate()
+        .map(|(p, &s)| if p == 0 { s ^ c } else { s })
+        .collect()
+}
+
+/// Local AND with a public constant (distributes over XOR shares).
+pub fn and_public(x: &SharedWord, c: u64) -> SharedWord {
+    x.iter().map(|&s| s & c).collect()
+}
+
+/// Local left shift of every share.
+pub fn shl_words(x: &SharedWord, shift: u32) -> SharedWord {
+    x.iter().map(|&s| s << shift).collect()
+}
+
+/// Opens a shared word to all parties: one broadcast round.
+pub fn open_word(mesh: &mut Mesh, kind: MsgKind, x: &SharedWord) -> u64 {
+    let words: Vec<Vec<u64>> = x.iter().map(|&s| vec![s]).collect();
+    let recv = mesh.broadcast_words(kind, &words);
+    // Every party folds all P contributions; they all get the same value,
+    // so the lockstep runtime computes it once.
+    recv[0].iter().map(|w| w[0]).fold(0u64, |acc, s| acc ^ s)
+}
+
+/// Evaluates `k` shared-AND word gates in **one** communication round,
+/// consuming `k` packed triple words.
+///
+/// For each pair `(x, y)` with triple `(a, b, c)`: parties open
+/// `ε = x ⊕ a` and `δ = y ⊕ b`, then locally output
+/// `z = c ⊕ (ε ∧ b) ⊕ (δ ∧ a) ⊕ (ε ∧ δ)` (the last term absorbed by
+/// party 0). Since `ε`/`δ` are one-time-pad masked, nothing about `x`/`y`
+/// leaks.
+pub fn and_many(
+    mesh: &mut Mesh,
+    dealer: &mut Dealer,
+    pairs: &[(SharedWord, SharedWord)],
+) -> Vec<SharedWord> {
+    let n = mesh.num_parties();
+    let triples: Vec<_> = pairs.iter().map(|_| dealer.triple_word()).collect();
+
+    // Each party broadcasts [ε_0, δ_0, ε_1, δ_1, …] for all gates at once.
+    let outs: Vec<Vec<u64>> = (0..n)
+        .map(|p| {
+            pairs
+                .iter()
+                .zip(&triples)
+                .flat_map(|((x, y), t)| [x[p] ^ t.a[p], y[p] ^ t.b[p]])
+                .collect()
+        })
+        .collect();
+    let recv = mesh.broadcast_words(MsgKind::TripleOpen, &outs);
+
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let eps = recv[0].iter().map(|w| w[2 * i]).fold(0u64, |a, s| a ^ s);
+            let del = recv[0]
+                .iter()
+                .map(|w| w[2 * i + 1])
+                .fold(0u64, |a, s| a ^ s);
+            let t = &triples[i];
+            (0..n)
+                .map(|p| {
+                    let mut z = t.c[p] ^ (eps & t.b[p]) ^ (del & t.a[p]);
+                    if p == 0 {
+                        z ^= eps & del;
+                    }
+                    z
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Number of communication rounds of [`add_public`].
+pub const ADDER_ROUNDS: u64 = 6;
+/// Number of triple words [`add_public`] consumes.
+pub const ADDER_TRIPLE_WORDS: u64 = 12;
+
+/// Adds the public constant `addend` to the XOR-shared word `s`, returning
+/// the shared bits of `(addend + value(s)) mod 2⁶⁴`.
+///
+/// Kogge–Stone carry lookahead: 6 layers of two parallel shared ANDs
+/// (G-combine and P-combine), so 6 rounds and 12 triple words total.
+/// The initial generate/propagate words involve one public operand and are
+/// therefore local.
+pub fn add_public(mesh: &mut Mesh, dealer: &mut Dealer, addend: u64, s: &SharedWord) -> SharedWord {
+    add_public_many(mesh, dealer, &[(addend, s.clone())])
+        .pop()
+        .expect("one input, one output")
+}
+
+/// Evaluates `k` independent public-plus-shared additions with **shared
+/// rounds**: still 6 AND layers, each packing all `2k` gates into one
+/// exchange — the vectorization that lets higher layers batch independent
+/// comparisons at constant round cost.
+pub fn add_public_many(
+    mesh: &mut Mesh,
+    dealer: &mut Dealer,
+    inputs: &[(u64, SharedWord)],
+) -> Vec<SharedWord> {
+    // g = addend ∧ s and p = addend ⊕ s are local thanks to the public operand.
+    let mut g: Vec<SharedWord> = inputs
+        .iter()
+        .map(|(addend, s)| and_public(s, *addend))
+        .collect();
+    let mut p: Vec<SharedWord> = inputs
+        .iter()
+        .map(|(addend, s)| xor_public(s, *addend))
+        .collect();
+    let p0 = p.clone();
+
+    for shift in [1u32, 2, 4, 8, 16, 32] {
+        let mut pairs = Vec::with_capacity(2 * inputs.len());
+        for i in 0..inputs.len() {
+            pairs.push((p[i].clone(), shl_words(&g[i], shift)));
+            pairs.push((p[i].clone(), shl_words(&p[i], shift)));
+        }
+        let res = and_many(mesh, dealer, &pairs);
+        // In carry semantics G and P∧G' are never simultaneously 1, so XOR
+        // implements the OR of the classic formulation exactly.
+        for i in 0..inputs.len() {
+            g[i] = xor_words(&g[i], &res[2 * i]);
+            p[i] = res[2 * i + 1].clone();
+        }
+    }
+
+    // carry into bit i = G_{i-1}; sum = p ⊕ carries.
+    (0..inputs.len())
+        .map(|i| xor_words(&p0[i], &shl_words(&g[i], 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dealer::{reconstruct_xor, xor_shares};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha12Rng;
+
+    fn setup(n: usize) -> (Mesh, Dealer, ChaCha12Rng) {
+        (
+            Mesh::new(n),
+            Dealer::new(n, 99),
+            ChaCha12Rng::seed_from_u64(5),
+        )
+    }
+
+    #[test]
+    fn and_gate_is_correct_for_various_party_counts() {
+        for n in [2usize, 3, 5] {
+            let (mut mesh, mut dealer, mut rng) = setup(n);
+            for _ in 0..40 {
+                let x: u64 = rng.gen();
+                let y: u64 = rng.gen();
+                let xs = xor_shares(&mut rng, n, x);
+                let ys = xor_shares(&mut rng, n, y);
+                let z = and_many(&mut mesh, &mut dealer, &[(xs, ys)]);
+                assert_eq!(reconstruct_xor(&z[0]), x & y);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_ands_share_one_round() {
+        let (mut mesh, mut dealer, mut rng) = setup(3);
+        let pairs: Vec<_> = (0..5)
+            .map(|_| {
+                let (x, y): (u64, u64) = (rng.gen(), rng.gen());
+                (xor_shares(&mut rng, 3, x), xor_shares(&mut rng, 3, y))
+            })
+            .collect();
+        and_many(&mut mesh, &mut dealer, &pairs);
+        assert_eq!(mesh.stats().rounds, 1, "k gates must cost one round");
+    }
+
+    #[test]
+    fn adder_matches_wrapping_add() {
+        for n in [2usize, 3, 4] {
+            let (mut mesh, mut dealer, mut rng) = setup(n);
+            for _ in 0..60 {
+                let pub_val: u64 = rng.gen();
+                let secret: u64 = rng.gen();
+                let s = xor_shares(&mut rng, n, secret);
+                let sum = add_public(&mut mesh, &mut dealer, pub_val, &s);
+                assert_eq!(
+                    reconstruct_xor(&sum),
+                    pub_val.wrapping_add(secret),
+                    "adder wrong for {pub_val} + {secret} with {n} parties"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adder_edge_cases() {
+        let (mut mesh, mut dealer, mut rng) = setup(2);
+        for (a, b) in [
+            (0u64, 0u64),
+            (u64::MAX, 1),
+            (u64::MAX, u64::MAX),
+            (1u64 << 63, 1u64 << 63),
+            (0, u64::MAX),
+        ] {
+            let s = xor_shares(&mut rng, 2, b);
+            let sum = add_public(&mut mesh, &mut dealer, a, &s);
+            assert_eq!(reconstruct_xor(&sum), a.wrapping_add(b));
+        }
+    }
+
+    #[test]
+    fn adder_cost_constants_are_accurate() {
+        let (mut mesh, mut dealer, mut rng) = setup(3);
+        let s = xor_shares(&mut rng, 3, 1234);
+        let before_t = dealer.stats().triple_words;
+        add_public(&mut mesh, &mut dealer, 99, &s);
+        assert_eq!(mesh.stats().rounds, ADDER_ROUNDS);
+        assert_eq!(dealer.stats().triple_words - before_t, ADDER_TRIPLE_WORDS);
+    }
+
+    #[test]
+    fn open_word_reconstructs() {
+        let (mut mesh, _, mut rng) = setup(4);
+        let v: u64 = 0xABCD_EF01_2345_6789;
+        let s = xor_shares(&mut rng, 4, v);
+        assert_eq!(open_word(&mut mesh, MsgKind::MaskedOpen, &s), v);
+    }
+
+    #[test]
+    fn local_gates_are_free() {
+        let (mesh, _, mut rng) = setup(2);
+        let x = xor_shares(&mut rng, 2, 5);
+        let y = xor_shares(&mut rng, 2, 9);
+        let _ = xor_words(&x, &y);
+        let _ = xor_public(&x, 7);
+        let _ = and_public(&x, 7);
+        let _ = shl_words(&x, 3);
+        assert_eq!(mesh.stats().rounds, 0);
+        assert_eq!(mesh.stats().bytes, 0);
+    }
+}

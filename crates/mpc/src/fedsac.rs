@@ -1,0 +1,363 @@
+//! The Fed-SAC operator: federated **s**um-**a**nd-**c**ompare.
+//!
+//! Fed-SAC is the paper's single MPC building block (§II-B): given two
+//! paths `ρ_A, ρ_B`, every silo `p` holds partial costs `φ_p(ρ_A)` and
+//! `φ_p(ρ_B)`; the operator secretly sums each path's `P` partial costs and
+//! reveals **only** whether `Σφ_p(ρ_A) < Σφ_p(ρ_B)` — equivalent to
+//! comparing the joint (average) costs, without the division.
+//!
+//! [`SacEngine`] exposes two interchangeable backends:
+//!
+//! * [`SacBackend::Real`] executes the full secret-sharing protocol:
+//!   input sharing, masked opening, Kogge–Stone sign extraction.
+//! * [`SacBackend::Modeled`] computes the comparison directly but runs the
+//!   *identical* cost accounting, enabling large experiment sweeps. A test
+//!   pins the two backends to identical results and statistics.
+
+use crate::compare::{account_less_than_zero_many, less_than_zero_many, COMPARE_ROUNDS};
+use crate::dealer::{additive_shares, Dealer, DealerStats};
+use crate::net::{Mesh, MsgKind, NetStats, NetworkModel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Execution backend of a [`SacEngine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SacBackend {
+    /// Execute the real secret-sharing protocol end to end.
+    Real,
+    /// Compute results directly; account identical protocol costs.
+    Modeled,
+}
+
+/// Rounds per full Fed-SAC invocation (input-sharing round + comparison).
+pub const FEDSAC_ROUNDS: u64 = 1 + COMPARE_ROUNDS;
+
+/// Aggregated statistics of an engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SacStats {
+    /// Number of Fed-SAC invocations — the paper's headline cost metric.
+    pub invocations: u64,
+    /// Online traffic.
+    pub net: NetStats,
+    /// Preprocessing consumption.
+    pub dealer: DealerStats,
+}
+
+impl SacStats {
+    /// Modeled online wall-clock under a network model.
+    pub fn modeled_time_s(&self, model: &NetworkModel) -> f64 {
+        model.modeled_time_s(&self.net)
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &SacStats) {
+        self.invocations += other.invocations;
+        self.net.merge(&other.net);
+        self.dealer.edabits += other.dealer.edabits;
+        self.dealer.triple_words += other.dealer.triple_words;
+        self.dealer.bytes += other.dealer.bytes;
+    }
+}
+
+/// Optional recording of everything the protocol publicly reveals — the
+/// material for the simulation-paradigm security argument (§VII): a party's
+/// view is exactly (uniform masked opens, uniform triple opens, result
+/// bits), so a simulator given only the result bits can reproduce it.
+#[derive(Clone, Debug, Default)]
+pub struct Transcript {
+    /// Publicly opened masked differences (uniform by construction).
+    pub masked_opens: Vec<u64>,
+    /// The revealed comparison bits, in invocation order.
+    pub revealed_bits: Vec<bool>,
+}
+
+/// The Fed-SAC engine owned by a federation: `P` lockstep parties, a mesh
+/// network, and a preprocessing dealer.
+#[derive(Debug)]
+pub struct SacEngine {
+    backend: SacBackend,
+    mesh: Mesh,
+    dealer: Dealer,
+    /// Per-party randomness for input sharing.
+    rngs: Vec<ChaCha12Rng>,
+    invocations: u64,
+    batches: u64,
+    transcript: Option<Transcript>,
+}
+
+impl SacEngine {
+    /// Creates an engine for `num_parties` silos.
+    pub fn new(num_parties: usize, backend: SacBackend, seed: u64) -> Self {
+        SacEngine {
+            backend,
+            mesh: Mesh::new(num_parties),
+            dealer: Dealer::new(num_parties, seed),
+            rngs: (0..num_parties)
+                .map(|p| {
+                    ChaCha12Rng::seed_from_u64(
+                        seed ^ 0x1A7E_17C0_0000_0000 ^ (p as u64).wrapping_mul(0x9E37_79B9),
+                    )
+                })
+                .collect(),
+            invocations: 0,
+            batches: 0,
+            transcript: None,
+        }
+    }
+
+    /// Number of parties `P`.
+    pub fn num_parties(&self) -> usize {
+        self.mesh.num_parties()
+    }
+
+    /// Which backend this engine runs.
+    pub fn backend(&self) -> SacBackend {
+        self.backend
+    }
+
+    /// Starts recording a [`Transcript`] of revealed values.
+    pub fn enable_transcript(&mut self) {
+        self.transcript = Some(Transcript::default());
+    }
+
+    /// The transcript recorded so far, if enabled.
+    pub fn transcript(&self) -> Option<&Transcript> {
+        self.transcript.as_ref()
+    }
+
+    /// Statistics since construction (or the last [`Self::reset_stats`]).
+    pub fn stats(&self) -> SacStats {
+        SacStats {
+            invocations: self.invocations,
+            net: self.mesh.stats(),
+            dealer: self.dealer.stats(),
+        }
+    }
+
+    /// Per-kind message counters (structural audit input).
+    pub fn kind_counts(&self) -> &std::collections::HashMap<MsgKind, u64> {
+        self.mesh.kind_counts()
+    }
+
+    /// Number of protocol executions: batched invocations count once
+    /// (the audit's traffic profile is per execution, not per comparison).
+    pub fn batch_count(&self) -> u64 {
+        self.batches
+    }
+
+    /// Resets traffic statistics (message-kind counters are preserved for
+    /// the audit; invocation count restarts).
+    pub fn reset_stats(&mut self) {
+        self.mesh.reset_stats();
+        self.invocations = 0;
+    }
+
+    /// **Fed-SAC**: returns `Σ a[p] < Σ b[p]`, revealing only that bit.
+    ///
+    /// `a[p]`/`b[p]` are silo `p`'s partial costs of the two paths. Partial
+    /// costs must stay below 2⁵⁴ so the sum across ≤ 2⁸ silos keeps the
+    /// signed difference exact (road-network costs are ≤ 2⁴⁰).
+    pub fn less_than(&mut self, a: &[u64], b: &[u64]) -> bool {
+        self.less_than_many(&[(a.to_vec(), b.to_vec())])
+            .pop()
+            .expect("one input, one output")
+    }
+
+    /// Batched Fed-SAC: `k` **independent** comparisons executed with
+    /// shared protocol rounds (still [`FEDSAC_ROUNDS`] total) — MP-SPDZ
+    /// style vectorization. Each invocation still counts toward
+    /// `invocations`; the round/latency savings show up in `net.rounds`.
+    pub fn less_than_many(&mut self, pairs: &[(Vec<u64>, Vec<u64>)]) -> Vec<bool> {
+        let n = self.num_parties();
+        let k = pairs.len();
+        assert!(k > 0, "empty comparison batch");
+        for (a, b) in pairs {
+            assert_eq!(a.len(), n, "one partial cost per silo");
+            assert_eq!(b.len(), n, "one partial cost per silo");
+            debug_assert!(
+                a.iter().chain(b).all(|&v| v < 1 << 54),
+                "partial costs out of the exact-comparison range"
+            );
+        }
+        self.invocations += k as u64;
+        self.batches += 1;
+
+        let results = match self.backend {
+            SacBackend::Real => self.less_than_many_real(pairs),
+            SacBackend::Modeled => {
+                // Identical observable results…
+                let results = pairs
+                    .iter()
+                    .map(|(a, b)| a.iter().sum::<u64>() < b.iter().sum::<u64>())
+                    .collect();
+                // …and identical cost accounting.
+                self.mesh.account_scatter(MsgKind::InputShare, 2 * k);
+                account_less_than_zero_many(&mut self.mesh, &mut self.dealer, k);
+                results
+            }
+        };
+        if let Some(t) = &mut self.transcript {
+            t.revealed_bits.extend(&results);
+        }
+        results
+    }
+
+    fn less_than_many_real(&mut self, pairs: &[(Vec<u64>, Vec<u64>)]) -> Vec<bool> {
+        let n = self.num_parties();
+        let k = pairs.len();
+        // Round 1: every party additively shares all its inputs;
+        // msgs[p][q] = [a0_share, b0_share, a1_share, b1_share, …].
+        let msgs: Vec<Vec<Vec<u64>>> = (0..n)
+            .map(|p| {
+                let shares: Vec<(Vec<u64>, Vec<u64>)> = pairs
+                    .iter()
+                    .map(|(a, b)| {
+                        (
+                            additive_shares(&mut self.rngs[p], n, a[p]),
+                            additive_shares(&mut self.rngs[p], n, b[p]),
+                        )
+                    })
+                    .collect();
+                (0..n)
+                    .map(|q| {
+                        shares
+                            .iter()
+                            .flat_map(|(sa, sb)| [sa[q], sb[q]])
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let recv = self.mesh.scatter_words(MsgKind::InputShare, &msgs);
+
+        // Local: fold into shares of d_i = Σa_i − Σb_i per comparison.
+        let d_shares_list: Vec<Vec<u64>> = (0..k)
+            .map(|i| {
+                (0..n)
+                    .map(|q| {
+                        let a_q = recv[q]
+                            .iter()
+                            .fold(0u64, |acc, w| acc.wrapping_add(w[2 * i]));
+                        let b_q = recv[q]
+                            .iter()
+                            .fold(0u64, |acc, w| acc.wrapping_add(w[2 * i + 1]));
+                        a_q.wrapping_sub(b_q)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let opened_log = self.transcript.as_mut().map(|t| &mut t.masked_opens);
+        less_than_zero_many(&mut self.mesh, &mut self.dealer, &d_shares_list, opened_log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn fed_sac_equals_plain_sum_comparison() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for p in [2usize, 3, 4, 8] {
+            let mut eng = SacEngine::new(p, SacBackend::Real, 42);
+            for _ in 0..100 {
+                let a: Vec<u64> = (0..p).map(|_| rng.gen_range(0..1u64 << 40)).collect();
+                let b: Vec<u64> = (0..p).map(|_| rng.gen_range(0..1u64 << 40)).collect();
+                assert_eq!(
+                    eng.less_than(&a, &b),
+                    a.iter().sum::<u64>() < b.iter().sum::<u64>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_results_and_costs() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut real = SacEngine::new(3, SacBackend::Real, 7);
+        let mut modeled = SacEngine::new(3, SacBackend::Modeled, 7);
+        for _ in 0..300 {
+            let a: Vec<u64> = (0..3).map(|_| rng.gen_range(0..1u64 << 38)).collect();
+            let b: Vec<u64> = (0..3).map(|_| rng.gen_range(0..1u64 << 38)).collect();
+            assert_eq!(real.less_than(&a, &b), modeled.less_than(&a, &b));
+        }
+        assert_eq!(real.stats(), modeled.stats());
+    }
+
+    #[test]
+    fn per_invocation_costs_match_the_documented_constants() {
+        let mut eng = SacEngine::new(3, SacBackend::Real, 1);
+        eng.less_than(&[1, 2, 3], &[4, 5, 6]);
+        let s = eng.stats();
+        assert_eq!(s.invocations, 1);
+        assert_eq!(s.net.rounds, FEDSAC_ROUNDS);
+        assert_eq!(s.dealer.edabits, 1);
+        assert_eq!(s.dealer.triple_words, 12);
+    }
+
+    #[test]
+    fn joint_average_vs_sum_equivalence() {
+        // Comparing sums is comparing averages (same P): the exact joint
+        // semantics of Equation 2 without a division.
+        let mut eng = SacEngine::new(2, SacBackend::Real, 3);
+        // avg(3, 5) = 4 < avg(4, 6) = 5.
+        assert!(eng.less_than(&[3, 5], &[4, 6]));
+        assert!(!eng.less_than(&[4, 6], &[3, 5]));
+        // Equal averages: strictly-less is false both ways.
+        assert!(!eng.less_than(&[2, 6], &[4, 4]));
+        assert!(!eng.less_than(&[4, 4], &[2, 6]));
+    }
+
+    #[test]
+    fn transcript_records_bits_and_masks() {
+        let mut eng = SacEngine::new(2, SacBackend::Real, 5);
+        eng.enable_transcript();
+        let r1 = eng.less_than(&[1, 1], &[5, 5]);
+        let r2 = eng.less_than(&[9, 9], &[5, 5]);
+        let t = eng.transcript().unwrap();
+        assert_eq!(t.revealed_bits, vec![r1, r2]);
+        assert_eq!(t.masked_opens.len(), 2);
+    }
+
+    #[test]
+    fn batched_comparisons_share_rounds_and_agree_with_sequential() {
+        let mut rng = ChaCha12Rng::seed_from_u64(31);
+        let pairs: Vec<(Vec<u64>, Vec<u64>)> = (0..16)
+            .map(|_| {
+                (
+                    (0..3).map(|_| rng.gen_range(0..1u64 << 40)).collect(),
+                    (0..3).map(|_| rng.gen_range(0..1u64 << 40)).collect(),
+                )
+            })
+            .collect();
+        let mut batched = SacEngine::new(3, SacBackend::Real, 9);
+        let bits = batched.less_than_many(&pairs);
+        let mut sequential = SacEngine::new(3, SacBackend::Real, 9);
+        for ((a, b), bit) in pairs.iter().zip(&bits) {
+            assert_eq!(sequential.less_than(a, b), *bit);
+        }
+        // Same invocation count and bytes; 16x fewer rounds.
+        assert_eq!(batched.stats().invocations, sequential.stats().invocations);
+        assert_eq!(batched.stats().net.bytes, sequential.stats().net.bytes);
+        assert_eq!(batched.stats().net.rounds, FEDSAC_ROUNDS);
+        assert_eq!(sequential.stats().net.rounds, 16 * FEDSAC_ROUNDS);
+        // Modeled twin accounts identically to the real batch.
+        let mut modeled = SacEngine::new(3, SacBackend::Modeled, 9);
+        assert_eq!(modeled.less_than_many(&pairs), bits);
+        assert_eq!(modeled.stats(), batched.stats());
+    }
+
+    #[test]
+    fn modeled_scales_with_party_count() {
+        let mut small = SacEngine::new(2, SacBackend::Modeled, 1);
+        let mut large = SacEngine::new(8, SacBackend::Modeled, 1);
+        small.less_than(&[1, 2], &[3, 4]);
+        large.less_than(&[1; 8], &[2; 8]);
+        assert_eq!(small.stats().net.rounds, large.stats().net.rounds);
+        assert!(large.stats().net.bytes > small.stats().net.bytes);
+        assert!(large.stats().net.per_party_bytes > small.stats().net.per_party_bytes);
+    }
+}

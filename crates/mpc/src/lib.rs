@@ -1,0 +1,51 @@
+//! # fedroad-mpc — secret-sharing MPC engine for FedRoad
+//!
+//! A from-scratch, semi-honest secure multi-party computation substrate
+//! standing in for MP-SPDZ's "Temi with edaBits" configuration used by the
+//! paper (§II-B, §VIII-A). It provides exactly one high-level operation,
+//! because that is all FedRoad needs: **Fed-SAC**, the federated
+//! sum-and-compare that aggregates per-silo partial path costs and reveals
+//! only the comparison bit between the two joint costs.
+//!
+//! Layering (bottom up):
+//!
+//! * [`net`] — an in-process full-mesh party network with per-round
+//!   byte/message accounting and the paper's `R·(L + S/B)` time model.
+//! * [`dealer`] — trusted-dealer preprocessing: edaBits and packed binary
+//!   Beaver triples (the Temi offline phase's stand-in).
+//! * [`binary`] — XOR-shared word gates; Beaver AND; a Kogge–Stone adder.
+//! * [`compare`] — masked-opening sign extraction (`8` online rounds).
+//! * [`fedsac`] — the [`SacEngine`] with `Real` and
+//!   `Modeled` backends producing identical results *and* identical cost
+//!   statistics (pinned by tests).
+//! * [`audit`] — the structural half of the paper's §VII simulation-based
+//!   security argument, enforced mechanically.
+//! * [`threaded`] — a coordinator-free execution of the same protocol with
+//!   one real thread per party (pinned equal to the lockstep engine).
+//! * [`mac`] — SPDZ-style MAC-authenticated sharing: the machinery the
+//!   malicious-security upgrade would build on, with cheater detection.
+//!
+//! ## Security model
+//!
+//! Semi-honest silos, no collusion with the dealer. Values are additively
+//! shared over ℤ₂⁶⁴; partial path costs must stay below 2⁵⁴ so sums across
+//! silos remain exact under two's-complement sign extraction (road-network
+//! costs are orders of magnitude smaller). Malicious-security variants
+//! would swap the dealer and opening phases, leaving this crate's API and
+//! all of `fedroad-core` unchanged — mirroring the paper's remark that the
+//! upper-layer algorithm is independent of the underlying protocol.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod binary;
+pub mod compare;
+pub mod dealer;
+pub mod fedsac;
+pub mod mac;
+pub mod net;
+pub mod threaded;
+
+pub use audit::{audit_engine, audit_masked_uniformity, AuditError, BitReplaySimulator};
+pub use fedsac::{SacBackend, SacEngine, SacStats, Transcript, FEDSAC_ROUNDS};
+pub use net::{Mesh, MsgKind, NetStats, NetworkModel, PartyId};

@@ -1,0 +1,147 @@
+//! Property tests for the MPC substrate: share algebra, circuits, the
+//! comparison protocol, the threaded runner, and the MAC layer, on
+//! arbitrary inputs.
+
+use fedroad_mpc::binary::{add_public, and_many, open_word, xor_public};
+use fedroad_mpc::dealer::{
+    additive_shares, reconstruct_additive, reconstruct_xor, xor_shares, Dealer,
+};
+use fedroad_mpc::mac::{authenticated_open, AuthShare, MacError, MacKey};
+use fedroad_mpc::{Mesh, MsgKind, SacBackend, SacEngine};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn additive_shares_roundtrip(v: u64, n in 2usize..9, seed: u64) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        prop_assert_eq!(reconstruct_additive(&additive_shares(&mut rng, n, v)), v);
+    }
+
+    #[test]
+    fn xor_shares_roundtrip(v: u64, n in 2usize..9, seed: u64) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        prop_assert_eq!(reconstruct_xor(&xor_shares(&mut rng, n, v)), v);
+    }
+
+    #[test]
+    fn beaver_and_is_bitwise_and(x: u64, y: u64, n in 2usize..6, seed: u64) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut mesh = Mesh::new(n);
+        let mut dealer = Dealer::new(n, seed);
+        let xs = xor_shares(&mut rng, n, x);
+        let ys = xor_shares(&mut rng, n, y);
+        let z = and_many(&mut mesh, &mut dealer, &[(xs, ys)]);
+        prop_assert_eq!(reconstruct_xor(&z[0]), x & y);
+    }
+
+    #[test]
+    fn kogge_stone_adds_exactly(public: u64, secret: u64, n in 2usize..5, seed: u64) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut mesh = Mesh::new(n);
+        let mut dealer = Dealer::new(n, seed);
+        let s = xor_shares(&mut rng, n, secret);
+        let sum = add_public(&mut mesh, &mut dealer, public, &s);
+        prop_assert_eq!(reconstruct_xor(&sum), public.wrapping_add(secret));
+    }
+
+    #[test]
+    fn fed_sac_is_sum_comparison(
+        a in proptest::collection::vec(0u64..(1u64 << 50), 2..8),
+        b_extra in proptest::collection::vec(0u64..(1u64 << 50), 8),
+        seed: u64,
+    ) {
+        let n = a.len();
+        let b = &b_extra[..n];
+        let mut engine = SacEngine::new(n, SacBackend::Real, seed);
+        prop_assert_eq!(
+            engine.less_than(&a, b),
+            a.iter().sum::<u64>() < b.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn backends_are_indistinguishable(
+        pairs in proptest::collection::vec(
+            (proptest::collection::vec(0u64..(1u64 << 45), 3),
+             proptest::collection::vec(0u64..(1u64 << 45), 3)),
+            1..20,
+        ),
+        seed: u64,
+    ) {
+        let mut real = SacEngine::new(3, SacBackend::Real, seed);
+        let mut modeled = SacEngine::new(3, SacBackend::Modeled, seed);
+        for (a, b) in &pairs {
+            prop_assert_eq!(real.less_than(a, b), modeled.less_than(a, b));
+        }
+        prop_assert_eq!(real.stats(), modeled.stats());
+    }
+
+    #[test]
+    fn xor_public_is_involutive(v: u64, c: u64, n in 2usize..6, seed: u64) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let s = xor_shares(&mut rng, n, v);
+        let twice = xor_public(&xor_public(&s, c), c);
+        let mut mesh = Mesh::new(n);
+        prop_assert_eq!(open_word(&mut mesh, MsgKind::MaskedOpen, &twice), v);
+    }
+
+    #[test]
+    fn mac_accepts_honest_and_rejects_tampered(x: u64, n in 2usize..6, seed: u64, error in 1u64..u64::MAX) {
+        let key = MacKey::generate(n, seed);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 1);
+        let mut mesh = Mesh::new(n);
+        let share = AuthShare::share(&key, x, &mut rng);
+        let honest = vec![0u64; n];
+        prop_assert_eq!(
+            authenticated_open(&mut mesh, &key, &share, &honest, &mut rng),
+            Ok(x)
+        );
+        let mut tampered = vec![0u64; n];
+        tampered[0] = error;
+        prop_assert_eq!(
+            authenticated_open(&mut mesh, &key, &share, &tampered, &mut rng),
+            Err(MacError::CheckFailed)
+        );
+    }
+
+    #[test]
+    fn mac_linearity(x: u64, y: u64, c in 0u64..(1u64 << 32), n in 2usize..5, seed: u64) {
+        let key = MacKey::generate(n, seed);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 2);
+        let mut mesh = Mesh::new(n);
+        let sx = AuthShare::share(&key, x, &mut rng);
+        let sy = AuthShare::share(&key, y, &mut rng);
+        let combo = sx.add(&sy).mul_public(c).add_public(&key, 5);
+        let expect = x.wrapping_add(y).wrapping_mul(c).wrapping_add(5);
+        prop_assert_eq!(
+            authenticated_open(&mut mesh, &key, &combo, &vec![0; n], &mut rng),
+            Ok(expect)
+        );
+    }
+}
+
+#[test]
+fn threaded_runner_agrees_with_plain_comparison_on_many_batches() {
+    // Threads are expensive per proptest case; run one structured sweep.
+    use fedroad_mpc::threaded::run_comparisons;
+    use rand::Rng;
+    let mut rng = ChaCha12Rng::seed_from_u64(5);
+    for n in [2usize, 4] {
+        let inputs: Vec<(Vec<u64>, Vec<u64>)> = (0..60)
+            .map(|_| {
+                (
+                    (0..n).map(|_| rng.gen_range(0..1u64 << 40)).collect(),
+                    (0..n).map(|_| rng.gen_range(0..1u64 << 40)).collect(),
+                )
+            })
+            .collect();
+        let bits = run_comparisons(n, &inputs, 77);
+        for ((a, b), bit) in inputs.iter().zip(&bits) {
+            assert_eq!(*bit, a.iter().sum::<u64>() < b.iter().sum::<u64>());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Comparison-counting binary heap — the conventional priority queue the
+//! paper's TM-tree is measured against.
+
+use crate::comparator::{Comparator, CompareCounts, Phase};
+use crate::PriorityQueue;
+
+/// A plain array binary min-heap (ordering decided by the comparator).
+///
+/// Items are pushed one at a time (no batching): each insertion sifts up
+/// from a leaf, costing up to `⌊log₂|Q|⌋` comparisons. Per the paper's
+/// Figure 12 convention, all push comparisons count as the `Merge` phase.
+#[derive(Debug)]
+pub struct BinaryHeap<T> {
+    items: Vec<T>,
+    counts: CompareCounts,
+    pushed: u64,
+}
+
+impl<T> Default for BinaryHeap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BinaryHeap<T> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        BinaryHeap {
+            items: Vec::new(),
+            counts: CompareCounts::default(),
+            pushed: 0,
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, cmp: &mut dyn Comparator<T>) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            self.counts.record(Phase::Merge);
+            if cmp.less(&self.items[i], &self.items[parent]) {
+                self.items.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, cmp: &mut dyn Comparator<T>) {
+        let n = self.items.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            if l >= n {
+                break;
+            }
+            // Pick the smaller child.
+            let child = if r < n {
+                self.counts.record(Phase::Pop);
+                if cmp.less(&self.items[r], &self.items[l]) {
+                    r
+                } else {
+                    l
+                }
+            } else {
+                l
+            };
+            self.counts.record(Phase::Pop);
+            if cmp.less(&self.items[child], &self.items[i]) {
+                self.items.swap(i, child);
+                i = child;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<T> PriorityQueue<T> for BinaryHeap<T> {
+    fn push_batch(&mut self, items: Vec<T>, cmp: &mut dyn Comparator<T>) {
+        self.pushed += items.len() as u64;
+        for item in items {
+            self.items.push(item);
+            let i = self.items.len() - 1;
+            self.sift_up(i, cmp);
+        }
+    }
+
+    fn pop(&mut self, cmp: &mut dyn Comparator<T>) -> Option<T> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let last = self.items.len() - 1;
+        self.items.swap(0, last);
+        let out = self.items.pop();
+        if !self.items.is_empty() {
+            self.sift_down(0, cmp);
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn counts(&self) -> CompareCounts {
+        self.counts
+    }
+
+    fn pushed(&self) -> u64 {
+        self.pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain() -> impl FnMut(&u64, &u64) -> bool {
+        |a, b| a < b
+    }
+
+    #[test]
+    fn pops_in_sorted_order() {
+        let mut h = BinaryHeap::new();
+        let mut cmp = plain();
+        h.push_batch(vec![5u64, 1, 9, 3, 7, 2, 8], &mut cmp);
+        let mut out = Vec::new();
+        while let Some(x) = h.pop(&mut cmp) {
+            out.push(x);
+        }
+        assert_eq!(out, vec![1, 2, 3, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn push_comparisons_count_as_merge() {
+        let mut h = BinaryHeap::new();
+        let mut cmp = plain();
+        h.push_batch(vec![3u64, 2, 1], &mut cmp);
+        let c = h.counts();
+        assert!(c.merge > 0);
+        assert_eq!(c.build, 0);
+        assert_eq!(c.pop, 0);
+    }
+
+    #[test]
+    fn empty_pop_is_none_and_free() {
+        let mut h: BinaryHeap<u64> = BinaryHeap::new();
+        let mut cmp = plain();
+        assert_eq!(h.pop(&mut cmp), None);
+        assert_eq!(h.counts().total(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_preserved() {
+        let mut h = BinaryHeap::new();
+        let mut cmp = plain();
+        h.push_batch(vec![4u64, 4, 4, 1, 1], &mut cmp);
+        assert_eq!(h.len(), 5);
+        let mut out = Vec::new();
+        while let Some(x) = h.pop(&mut cmp) {
+            out.push(x);
+        }
+        assert_eq!(out, vec![1, 1, 4, 4, 4]);
+    }
+}

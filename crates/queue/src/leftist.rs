@@ -1,0 +1,208 @@
+//! Leftist heap (L-heap) — the paper's intermediate baseline (§VIII-C):
+//! a mergeable heap that *does* support batch insertion, but whose heapify
+//! constant and `O(log |Q|)` merges make it lose to the TM-tree on
+//! comparison count.
+
+use crate::comparator::{Comparator, CompareCounts, Phase};
+use crate::PriorityQueue;
+use std::collections::VecDeque;
+
+type Link<T> = Option<Box<LNode<T>>>;
+
+#[derive(Debug)]
+struct LNode<T> {
+    item: T,
+    rank: u32, // null-path length
+    left: Link<T>,
+    right: Link<T>,
+}
+
+fn rank<T>(n: &Link<T>) -> u32 {
+    n.as_ref().map_or(0, |b| b.rank)
+}
+
+/// A leftist min-heap with phase-tallied comparisons.
+///
+/// `push_batch` first builds a sub-heap by round-robin pairwise merging
+/// (`O(n)` comparisons, tallied `Build`), then merges it into the global
+/// heap (`O(log |Q|)`, tallied `Merge`). `pop` removes the root and merges
+/// its children (tallied `Pop`).
+#[derive(Debug)]
+pub struct LeftistHeap<T> {
+    root: Link<T>,
+    len: usize,
+    counts: CompareCounts,
+    pushed: u64,
+}
+
+impl<T> Default for LeftistHeap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LeftistHeap<T> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        LeftistHeap {
+            root: None,
+            len: 0,
+            counts: CompareCounts::default(),
+            pushed: 0,
+        }
+    }
+
+    fn merge_links(
+        a: Link<T>,
+        b: Link<T>,
+        cmp: &mut dyn Comparator<T>,
+        counts: &mut CompareCounts,
+        phase: Phase,
+    ) -> Link<T> {
+        match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some(mut x), Some(mut y)) => {
+                counts.record(phase);
+                if !cmp.less(&x.item, &y.item) {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                let merged = Self::merge_links(x.right.take(), Some(y), cmp, counts, phase);
+                x.right = merged;
+                // Leftist invariant: left rank ≥ right rank.
+                if rank(&x.left) < rank(&x.right) {
+                    std::mem::swap(&mut x.left, &mut x.right);
+                }
+                x.rank = rank(&x.right) + 1;
+                Some(x)
+            }
+        }
+    }
+}
+
+impl<T> PriorityQueue<T> for LeftistHeap<T> {
+    fn push_batch(&mut self, items: Vec<T>, cmp: &mut dyn Comparator<T>) {
+        if items.is_empty() {
+            return;
+        }
+        self.len += items.len();
+        self.pushed += items.len() as u64;
+        // Build: round-robin pairwise merging of singletons — O(n).
+        let mut q: VecDeque<Link<T>> = items
+            .into_iter()
+            .map(|item| {
+                Some(Box::new(LNode {
+                    item,
+                    rank: 1,
+                    left: None,
+                    right: None,
+                }))
+            })
+            .collect();
+        while q.len() > 1 {
+            let a = q.pop_front().unwrap();
+            let b = q.pop_front().unwrap();
+            q.push_back(Self::merge_links(a, b, cmp, &mut self.counts, Phase::Build));
+        }
+        let sub = q.pop_front().unwrap();
+        // Merge into the global heap.
+        let root = self.root.take();
+        self.root = Self::merge_links(root, sub, cmp, &mut self.counts, Phase::Merge);
+    }
+
+    fn pop(&mut self, cmp: &mut dyn Comparator<T>) -> Option<T> {
+        let mut root = self.root.take()?;
+        self.len -= 1;
+        self.root = Self::merge_links(
+            root.left.take(),
+            root.right.take(),
+            cmp,
+            &mut self.counts,
+            Phase::Pop,
+        );
+        Some(root.item)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn counts(&self) -> CompareCounts {
+        self.counts
+    }
+
+    fn pushed(&self) -> u64 {
+        self.pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain() -> impl FnMut(&u64, &u64) -> bool {
+        |a, b| a < b
+    }
+
+    #[test]
+    fn pops_in_sorted_order() {
+        let mut h = LeftistHeap::new();
+        let mut cmp = plain();
+        h.push_batch(vec![42u64, 17, 99, 3, 3, 55], &mut cmp);
+        h.push_batch(vec![1u64, 80], &mut cmp);
+        let mut out = Vec::new();
+        while let Some(x) = h.pop(&mut cmp) {
+            out.push(x);
+        }
+        assert_eq!(out, vec![1, 3, 3, 17, 42, 55, 80, 99]);
+    }
+
+    #[test]
+    fn batch_build_is_linear_in_comparisons() {
+        let mut h = LeftistHeap::new();
+        let mut cmp = plain();
+        let n = 1024u64;
+        h.push_batch((0..n).rev().collect(), &mut cmp);
+        // Pairwise merging of n singletons costs at most ~2n comparisons.
+        assert!(
+            h.counts().build <= 2 * n,
+            "build cost {} exceeds 2n",
+            h.counts().build
+        );
+        assert!(h.counts().merge == 0, "first batch merges into empty heap");
+    }
+
+    #[test]
+    fn merge_into_global_is_logarithmic() {
+        let mut h = LeftistHeap::new();
+        let mut cmp = plain();
+        h.push_batch((0..4096u64).collect(), &mut cmp);
+        let before = h.counts().merge;
+        h.push_batch(vec![9999u64], &mut cmp);
+        let delta = h.counts().merge - before;
+        assert!(delta <= 14, "single merge cost {delta} not logarithmic");
+    }
+
+    #[test]
+    fn leftist_invariant_holds() {
+        fn check<T>(n: &Link<T>) -> bool {
+            match n {
+                None => true,
+                Some(b) => {
+                    rank(&b.left) >= rank(&b.right)
+                        && b.rank == rank(&b.right) + 1
+                        && check(&b.left)
+                        && check(&b.right)
+                }
+            }
+        }
+        let mut h = LeftistHeap::new();
+        let mut cmp = plain();
+        for batch in 0..20u64 {
+            h.push_batch((0..7).map(|i| batch * 31 % (i + 13)).collect(), &mut cmp);
+            if batch % 3 == 0 {
+                h.pop(&mut cmp);
+            }
+            assert!(check(&h.root), "leftist invariant violated");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the priority queues: heap-sort correctness under
+//! arbitrary interleavings, and the comparison-count bounds each structure
+//! advertises.
+
+use fedroad_queue::{BinaryHeap, LeftistHeap, PriorityQueue, QueueKind, TmTree};
+use proptest::prelude::*;
+
+/// An operation sequence: `Some(batch)` pushes, `None` pops.
+fn arb_ops() -> impl Strategy<Value = Vec<Option<Vec<u64>>>> {
+    proptest::collection::vec(
+        prop_oneof![
+            2 => proptest::collection::vec(any::<u64>(), 1..15).prop_map(Some),
+            1 => Just(None),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_queues_are_priority_queues(ops in arb_ops()) {
+        for kind in QueueKind::ALL {
+            let mut q = kind.instantiate::<u64>();
+            let mut model: Vec<u64> = Vec::new();
+            let mut cmp = |a: &u64, b: &u64| a < b;
+            for op in &ops {
+                match op {
+                    Some(batch) => {
+                        model.extend(batch.iter().copied());
+                        q.push_batch(batch.clone(), &mut cmp);
+                        prop_assert_eq!(q.len(), model.len());
+                    }
+                    None => {
+                        model.sort_unstable();
+                        let want = if model.is_empty() { None } else { Some(model.remove(0)) };
+                        prop_assert_eq!(q.pop(&mut cmp), want, "{}", kind.name());
+                    }
+                }
+            }
+            model.sort_unstable();
+            for want in model {
+                prop_assert_eq!(q.pop(&mut cmp), Some(want), "{} drain", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn tm_tree_build_cost_is_exactly_n_minus_1(batch in proptest::collection::vec(any::<u64>(), 1..64)) {
+        let mut q = TmTree::new(4);
+        let mut cmp = |a: &u64, b: &u64| a < b;
+        let n = batch.len() as u64;
+        q.push_batch(batch, &mut cmp);
+        prop_assert_eq!(q.counts().build, n - 1);
+    }
+
+    #[test]
+    fn tm_tree_invariants_survive_arbitrary_interleavings(ops in arb_ops()) {
+        let mut q = TmTree::new(4);
+        let mut cmp = |a: &u64, b: &u64| a < b;
+        for op in &ops {
+            match op {
+                Some(batch) => q.push_batch(batch.clone(), &mut cmp),
+                None => {
+                    q.pop(&mut cmp);
+                }
+            }
+            q.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("TM-tree invariant broken: {e}"))
+            })?;
+        }
+    }
+
+    #[test]
+    fn heap_pop_cost_is_logarithmic(n in 1usize..2_000) {
+        let mut q = BinaryHeap::new();
+        let mut cmp = |a: &u64, b: &u64| a < b;
+        q.push_batch((0..n as u64).rev().collect(), &mut cmp);
+        let before = q.counts().pop;
+        q.pop(&mut cmp);
+        let cost = q.counts().pop - before;
+        let log = 64 - (n as u64).leading_zeros() as u64;
+        prop_assert!(cost <= 2 * log + 2, "pop cost {cost} at size {n}");
+    }
+
+    #[test]
+    fn leftist_pop_cost_is_logarithmic(n in 1usize..2_000) {
+        let mut q = LeftistHeap::new();
+        let mut cmp = |a: &u64, b: &u64| a < b;
+        q.push_batch((0..n as u64).collect(), &mut cmp);
+        let before = q.counts().pop;
+        q.pop(&mut cmp);
+        let cost = q.counts().pop - before;
+        let log = 64 - (n as u64).leading_zeros() as u64;
+        prop_assert!(cost <= 2 * log + 2, "pop cost {cost} at size {n}");
+    }
+
+    #[test]
+    fn pushed_counter_counts_every_item(ops in arb_ops()) {
+        for kind in QueueKind::ALL {
+            let mut q = kind.instantiate::<u64>();
+            let mut cmp = |a: &u64, b: &u64| a < b;
+            let mut expected = 0u64;
+            for op in &ops {
+                match op {
+                    Some(batch) => {
+                        expected += batch.len() as u64;
+                        q.push_batch(batch.clone(), &mut cmp);
+                    }
+                    None => {
+                        q.pop(&mut cmp);
+                    }
+                }
+            }
+            prop_assert_eq!(q.pushed(), expected, "{}", kind.name());
+        }
+    }
+}

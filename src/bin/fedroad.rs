@@ -1,0 +1,310 @@
+//! `fedroad` — command-line front end for the federation.
+//!
+//! ```text
+//! fedroad demo    [--vertices N] [--silos P] [--congestion LEVEL] [--queries K]
+//! fedroad query   [--preset NAME] [--silos P] [--from V] [--to V] [--method M]
+//! fedroad methods [--preset NAME] [--silos P]      # compare all method lines
+//! fedroad knn     [--preset NAME] [--at V] [--k K]
+//! ```
+//!
+//! Everything is deterministic per `--seed` (default 2025).
+
+use fedroad::{
+    gen_silo_weights, grid_city, CongestionLevel, Federation, FederationConfig, GridCityParams,
+    JointOracle, Method, NetworkModel, QueryEngine, RoadNetworkPreset, SacBackend, VertexId,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "demo" => cmd_demo(&opts),
+        "query" => cmd_query(&opts),
+        "methods" => cmd_methods(&opts),
+        "knn" => cmd_knn(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+fedroad — secure federated road-network queries (FedRoad, ICDE 2025)
+
+USAGE:
+    fedroad demo    [--vertices N] [--silos P] [--congestion LEVEL] [--queries K]
+    fedroad query   [--preset NAME] [--silos P] [--from V] [--to V] [--method M] [--real-mpc]
+    fedroad methods [--preset NAME] [--silos P]
+    fedroad knn     [--preset NAME] [--silos P] [--at V] [--k K]
+
+OPTIONS:
+    --preset      cal-s | bj-s | fla-s            (default cal-s)
+    --vertices    synthetic city size for `demo`  (default 400)
+    --silos       number of data silos            (default 3)
+    --congestion  free | slight | moderate | heavy (default moderate)
+    --method      naive | shortcut | alt-max | alt | amps | fedroad (default fedroad)
+    --seed        RNG seed                        (default 2025)
+    --real-mpc    execute the full secret-sharing protocol (default: modeled)
+";
+
+struct Options {
+    map: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{a}`"));
+            };
+            match key {
+                "real-mpc" => flags.push(key.to_string()),
+                _ => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("--{key} needs a value"))?;
+                    map.insert(key.to_string(), value.clone());
+                }
+            }
+        }
+        Ok(Options { map, flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{key} `{v}`")),
+        }
+    }
+
+    fn congestion(&self) -> Result<CongestionLevel, String> {
+        match self.map.get("congestion").map(|s| s.as_str()) {
+            None | Some("moderate") => Ok(CongestionLevel::Moderate),
+            Some("free") => Ok(CongestionLevel::Free),
+            Some("slight") => Ok(CongestionLevel::Slight),
+            Some("heavy") => Ok(CongestionLevel::Heavy),
+            Some(v) => Err(format!("invalid --congestion `{v}`")),
+        }
+    }
+
+    fn preset(&self) -> Result<RoadNetworkPreset, String> {
+        match self.map.get("preset").map(|s| s.as_str()) {
+            None | Some("cal-s") => Ok(RoadNetworkPreset::CalS),
+            Some("bj-s") => Ok(RoadNetworkPreset::BjS),
+            Some("fla-s") => Ok(RoadNetworkPreset::FlaS),
+            Some(v) => Err(format!("invalid --preset `{v}`")),
+        }
+    }
+
+    fn method(&self) -> Result<Method, String> {
+        match self.map.get("method").map(|s| s.as_str()) {
+            None | Some("fedroad") => Ok(Method::FedRoad),
+            Some("naive") => Ok(Method::NaiveDijk),
+            Some("shortcut") => Ok(Method::FedShortcut),
+            Some("alt-max") => Ok(Method::FedShortcutAltMax),
+            Some("alt") => Ok(Method::FedShortcutAlt),
+            Some("amps") => Ok(Method::FedShortcutAmps),
+            Some(v) => Err(format!("invalid --method `{v}`")),
+        }
+    }
+
+    fn backend(&self) -> SacBackend {
+        if self.flags.iter().any(|f| f == "real-mpc") {
+            SacBackend::Real
+        } else {
+            SacBackend::Modeled
+        }
+    }
+}
+
+fn build_federation(
+    graph: fedroad::Graph,
+    opts: &Options,
+) -> Result<Federation, String> {
+    let silos: usize = opts.get("silos", 3)?;
+    if silos < 2 {
+        return Err("--silos must be at least 2".into());
+    }
+    let seed: u64 = opts.get("seed", 2025)?;
+    let weights = gen_silo_weights(&graph, opts.congestion()?, silos, seed);
+    Ok(Federation::new(
+        graph,
+        weights,
+        FederationConfig {
+            backend: opts.backend(),
+            seed,
+        },
+    ))
+}
+
+fn preset_federation(opts: &Options) -> Result<(Federation, RoadNetworkPreset), String> {
+    let preset = opts.preset()?;
+    let seed: u64 = opts.get("seed", 2025)?;
+    let graph = preset.generate(seed);
+    Ok((build_federation(graph, opts)?, preset))
+}
+
+fn print_query_stats(stats: &fedroad::QueryStats) {
+    let lan = NetworkModel::lan();
+    println!("  Fed-SAC invocations : {}", stats.sac_invocations);
+    println!("  MPC rounds          : {}", stats.rounds);
+    println!(
+        "  per-silo traffic    : {:.1} KiB",
+        stats.per_party_bytes as f64 / 1024.0
+    );
+    println!(
+        "  modeled time (LAN)  : {:.3} s",
+        stats.modeled_time_s(&lan)
+    );
+}
+
+fn cmd_demo(opts: &Options) -> Result<(), String> {
+    let vertices: u32 = opts.get("vertices", 400)?;
+    let queries: usize = opts.get("queries", 3)?;
+    let seed: u64 = opts.get("seed", 2025)?;
+    let graph = grid_city(&GridCityParams::with_target_vertices(vertices), seed);
+    println!(
+        "synthetic city: {} junctions, {} arcs",
+        graph.num_vertices(),
+        graph.num_arcs()
+    );
+    let mut fed = build_federation(graph, opts)?;
+    println!(
+        "federation: {} silos, {:?} backend — building FedRoad engine…",
+        fed.num_silos(),
+        fed.engine().backend()
+    );
+    let engine = QueryEngine::build(&mut fed, Method::FedRoad.config());
+    println!(
+        "preprocessing: {} Fed-SAC invocations",
+        engine.preprocessing_stats().sac_invocations
+    );
+    let n = fed.graph().num_vertices() as u32;
+    for q in 0..queries as u32 {
+        let (s, t) = (
+            VertexId((q * 311 + 7) % n),
+            VertexId((q * 733 + n / 2) % n),
+        );
+        let result = engine.spsp(&mut fed, s, t);
+        match result.path {
+            Some(p) => println!("\nquery {s} → {t}: {} hops", p.hops()),
+            None => println!("\nquery {s} → {t}: unreachable"),
+        }
+        print_query_stats(&result.stats);
+    }
+    Ok(())
+}
+
+fn cmd_query(opts: &Options) -> Result<(), String> {
+    let (mut fed, preset) = preset_federation(opts)?;
+    let n = fed.graph().num_vertices() as u32;
+    let from: u32 = opts.get("from", 0)?;
+    let to: u32 = opts.get("to", n - 1)?;
+    if from >= n || to >= n {
+        return Err(format!("vertices must be < {n} on {}", preset.name()));
+    }
+    let method = opts.method()?;
+    println!(
+        "{} on {}: routing {from} → {to} across {} silos",
+        method.name(),
+        preset.name(),
+        fed.num_silos()
+    );
+    let engine = QueryEngine::build(&mut fed, method.config());
+    let result = engine.spsp(&mut fed, VertexId(from), VertexId(to));
+    match &result.path {
+        Some(p) => {
+            println!("route found: {} hops", p.hops());
+            let preview: Vec<String> =
+                p.vertices().iter().take(12).map(|v| v.to_string()).collect();
+            println!("  {} {}", preview.join(" → "), if p.hops() >= 12 { "…" } else { "" });
+        }
+        None => println!("unreachable"),
+    }
+    print_query_stats(&result.stats);
+    Ok(())
+}
+
+fn cmd_methods(opts: &Options) -> Result<(), String> {
+    let (mut fed, preset) = preset_federation(opts)?;
+    let oracle = JointOracle::new(&fed);
+    let n = fed.graph().num_vertices() as u32;
+    let (s, t) = (VertexId(1), VertexId(n - 2));
+    let lan = NetworkModel::lan();
+    println!(
+        "method comparison on {} ({} silos), query {s} → {t}:",
+        preset.name(),
+        fed.num_silos()
+    );
+    println!(
+        "{:<22} {:>10} {:>8} {:>12} {:>10}",
+        "method", "Fed-SACs", "rounds", "per-silo KiB", "time [s]"
+    );
+    for method in Method::FIGURE7 {
+        let engine = QueryEngine::build(&mut fed, method.config());
+        let result = engine.spsp(&mut fed, s, t);
+        let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
+        let path = result.path.ok_or("unreachable")?;
+        if oracle.path_cost_scaled(&fed, &path) != Some(truth) {
+            return Err(format!("{} returned a suboptimal route", method.name()));
+        }
+        let st = result.stats;
+        println!(
+            "{:<22} {:>10} {:>8} {:>12.1} {:>10.3}",
+            method.name(),
+            st.sac_invocations,
+            st.rounds,
+            st.per_party_bytes as f64 / 1024.0,
+            st.modeled_time_s(&lan)
+        );
+    }
+    println!("(all methods verified against the ideal-world oracle)");
+    Ok(())
+}
+
+fn cmd_knn(opts: &Options) -> Result<(), String> {
+    let (mut fed, preset) = preset_federation(opts)?;
+    let n = fed.graph().num_vertices() as u32;
+    let at: u32 = opts.get("at", n / 2)?;
+    let k: usize = opts.get("k", 5)?;
+    if at >= n {
+        return Err(format!("--at must be < {n} on {}", preset.name()));
+    }
+    let engine = QueryEngine::build(&mut fed, Method::NaiveDijkTm.config());
+    let (results, stats) = engine.knn(&mut fed, VertexId(at), k);
+    println!(
+        "{k} nearest junctions to v{at} on {} (joint traffic view):",
+        preset.name()
+    );
+    for (rank, (v, path)) in results.iter().enumerate() {
+        println!("  #{:<3} {:>8}  ({} hops)", rank + 1, v.to_string(), path.hops());
+    }
+    print_query_stats(&stats);
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Keeps the experiment harness itself under `cargo test`: every
+//! experiment must run green in quick mode, and the in-harness shape
+//! assertions (Fed-SAC correlation, TM-tree bounds, update exactness,
+//! method optimality on every benchmarked query) must hold.
+
+use fedroad_bench::experiments;
+
+#[test]
+fn table1_runs() {
+    assert!(!experiments::table1::run(true).is_empty());
+}
+
+#[test]
+fn fig1_runs() {
+    assert!(!experiments::fig1::run(true).is_empty());
+}
+
+#[test]
+fn fig7_8_runs_with_all_optimality_checks() {
+    assert!(!experiments::fig7_8::run(true).is_empty());
+}
+
+#[test]
+fn fig9_runs() {
+    assert!(!experiments::fig9::run(true).is_empty());
+}
+
+#[test]
+fn table2_runs_with_update_exactness_checks() {
+    assert!(!experiments::table2::run(true).is_empty());
+}
+
+#[test]
+fn fig10_asserts_linear_correlation() {
+    assert!(!experiments::fig10::run(true).is_empty());
+}
+
+#[test]
+fn fig11_runs() {
+    assert!(!experiments::fig11::run(true).is_empty());
+}
+
+#[test]
+fn fig12_asserts_tm_tree_bounds() {
+    assert!(!experiments::fig12::run(true).is_empty());
+}
+
+#[test]
+fn ablations_run() {
+    assert!(!experiments::ablations::run(true).is_empty());
+}

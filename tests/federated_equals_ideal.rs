@@ -1,0 +1,143 @@
+//! The central correctness contract, across crates: every federated query
+//! configuration returns exactly the ideal-world (trusted third party)
+//! answer, for every dataset shape, silo count, congestion level and
+//! backend.
+
+use fedroad::{
+    gen_silo_weights, grid_city, CongestionLevel, Federation, FederationConfig, GridCityParams,
+    JointOracle, Method, QueryEngine, SacBackend, VertexId,
+};
+
+fn make_fed(
+    vertices: u32,
+    silos: usize,
+    level: CongestionLevel,
+    backend: SacBackend,
+    seed: u64,
+) -> (Federation, JointOracle) {
+    let g = grid_city(&GridCityParams::with_target_vertices(vertices), seed);
+    let w = gen_silo_weights(&g, level, silos, seed);
+    let fed = Federation::new(g, w, FederationConfig { backend, seed });
+    let oracle = JointOracle::new(&fed);
+    (fed, oracle)
+}
+
+fn check_all_methods(fed: &mut Federation, oracle: &JointOracle, pairs: &[(u32, u32)]) {
+    let methods = [
+        Method::NaiveDijk,
+        Method::NaiveDijkTm,
+        Method::FedShortcut,
+        Method::FedShortcutAltMax,
+        Method::FedShortcutAlt,
+        Method::FedShortcutAmps,
+        Method::FedRoad,
+    ];
+    for method in methods {
+        let engine = QueryEngine::build(fed, method.config());
+        for &(s, t) in pairs {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let truth = oracle.spsp_scaled(fed, s, t).expect("connected").0;
+            let result = engine.spsp(fed, s, t);
+            let path = result.path.unwrap_or_else(|| {
+                panic!("{} found no path {s}->{t}", method.name())
+            });
+            assert_eq!(path.source(), s);
+            assert_eq!(path.target(), t);
+            assert_eq!(
+                oracle.path_cost_scaled(fed, &path),
+                Some(truth),
+                "{} suboptimal on {s}->{t}",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_methods_exact_across_congestion_levels() {
+    for level in CongestionLevel::ALL {
+        let (mut fed, oracle) = make_fed(180, 3, level, SacBackend::Modeled, 42);
+        let n = fed.graph().num_vertices() as u32;
+        check_all_methods(&mut fed, &oracle, &[(0, n - 1), (7, n / 2), (n - 3, 11)]);
+    }
+}
+
+#[test]
+fn all_methods_exact_across_silo_counts() {
+    for silos in [2usize, 3, 5, 8] {
+        let (mut fed, oracle) = make_fed(150, silos, CongestionLevel::Moderate, SacBackend::Modeled, 7);
+        let n = fed.graph().num_vertices() as u32;
+        check_all_methods(&mut fed, &oracle, &[(1, n - 2), (n / 3, 2 * n / 3)]);
+    }
+}
+
+#[test]
+fn all_methods_exact_under_real_mpc_backend() {
+    // The full secret-sharing protocol end to end — slower, so smaller.
+    let (mut fed, oracle) = make_fed(100, 3, CongestionLevel::Moderate, SacBackend::Real, 13);
+    let n = fed.graph().num_vertices() as u32;
+    check_all_methods(&mut fed, &oracle, &[(0, n - 1), (5, n / 2)]);
+}
+
+#[test]
+fn random_seed_sweep_full_method() {
+    // Many random worlds for the flagship configuration.
+    for seed in 100..115 {
+        let (mut fed, oracle) = make_fed(140, 3, CongestionLevel::Heavy, SacBackend::Modeled, seed);
+        let n = fed.graph().num_vertices() as u32;
+        let engine = QueryEngine::build(&mut fed, Method::FedRoad.config());
+        for (s, t) in [(0, n - 1), (seed as u32 % n, (seed as u32 * 7 + 13) % n)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
+            let result = engine.spsp(&mut fed, s, t);
+            assert_eq!(
+                oracle.path_cost_scaled(&fed, &result.path.unwrap()),
+                Some(truth),
+                "seed {seed}: {s}->{t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn real_and_modeled_backends_agree_end_to_end() {
+    let (mut real, _) = make_fed(100, 3, CongestionLevel::Moderate, SacBackend::Real, 5);
+    let (mut modeled, _) = make_fed(100, 3, CongestionLevel::Moderate, SacBackend::Modeled, 5);
+    let n = real.graph().num_vertices() as u32;
+    let er = QueryEngine::build(&mut real, Method::FedRoad.config());
+    let em = QueryEngine::build(&mut modeled, Method::FedRoad.config());
+    assert_eq!(
+        er.preprocessing_stats().sac_invocations,
+        em.preprocessing_stats().sac_invocations,
+        "preprocessing must be invocation-identical across backends"
+    );
+    for (s, t) in [(0, n - 1), (3, n / 2), (n - 7, 1)] {
+        let (s, t) = (VertexId(s), VertexId(t));
+        let rr = er.spsp(&mut real, s, t);
+        let rm = em.spsp(&mut modeled, s, t);
+        assert_eq!(rr.path, rm.path, "paths diverged on {s}->{t}");
+        assert_eq!(rr.stats.sac_invocations, rm.stats.sac_invocations);
+        assert_eq!(rr.stats.rounds, rm.stats.rounds);
+        assert_eq!(rr.stats.bytes, rm.stats.bytes);
+    }
+}
+
+#[test]
+fn knn_is_exact_across_methods_and_ks() {
+    let (mut fed, oracle) = make_fed(150, 3, CongestionLevel::Moderate, SacBackend::Modeled, 21);
+    let truth = oracle.sssp_scaled(&fed, VertexId(40));
+    for method in [Method::NaiveDijk, Method::NaiveDijkTm] {
+        let engine = QueryEngine::build(&mut fed, method.config());
+        for k in [1usize, 5, 25] {
+            let (results, _) = engine.knn(&mut fed, VertexId(40), k);
+            assert_eq!(results.len(), k);
+            for (v, path) in &results {
+                assert_eq!(
+                    oracle.path_cost_scaled(&fed, path),
+                    Some(truth[v.index()]),
+                    "kNN path to {v} not optimal"
+                );
+            }
+        }
+    }
+}

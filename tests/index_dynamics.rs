@@ -1,0 +1,194 @@
+//! Long-horizon index dynamics: repeated real-time traffic refreshes with
+//! partial index updates must keep queries exact indefinitely — the
+//! production lifecycle of §IV "Federated Index Updating".
+
+use fedroad::{
+    gen_silo_weights, grid_city, CongestionLevel, Federation, FederationConfig, GridCityParams,
+    JointOracle, Method, QueryEngine, SacBackend, VertexId,
+};
+use fedroad_graph::ArcId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+#[test]
+fn repeated_updates_stay_exact_over_many_rounds() {
+    let g = grid_city(&GridCityParams::with_target_vertices(160), 3);
+    let w = gen_silo_weights(&g, CongestionLevel::Moderate, 3, 3);
+    let mut fed = Federation::new(
+        g,
+        w,
+        FederationConfig {
+            backend: SacBackend::Modeled,
+            seed: 3,
+        },
+    );
+    let mut engine = QueryEngine::build(&mut fed, Method::FedRoad.config());
+    let mut rng = ChaCha12Rng::seed_from_u64(99);
+    let m = fed.graph().num_arcs();
+    let n = fed.graph().num_vertices() as u32;
+
+    for round in 0..8u64 {
+        // Random traffic refresh: a random silo re-observes a random
+        // subset of arcs, increasing or decreasing congestion.
+        let silo = rng.gen_range(0..3);
+        let k = rng.gen_range(1..=m / 20);
+        let changed: Vec<ArcId> = (0..k)
+            .map(|_| ArcId(rng.gen_range(0..m as u32)))
+            .collect();
+        let mut w = fed.silo(silo).as_slice().to_vec();
+        let base = fed.graph().static_weights().to_vec();
+        for a in &changed {
+            let b = base[a.index()];
+            w[a.index()] = rng.gen_range(b..=b * 2);
+        }
+        fed.update_silo_weights(silo, w);
+        engine.update_index(&mut fed, &changed).expect("has index");
+
+        // Fresh oracle for the *current* weights; queries must match it.
+        let oracle = JointOracle::new(&fed);
+        for _ in 0..4 {
+            let (s, t) = (
+                VertexId(rng.gen_range(0..n)),
+                VertexId(rng.gen_range(0..n)),
+            );
+            let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
+            let result = engine.spsp(&mut fed, s, t);
+            assert_eq!(
+                oracle.path_cost_scaled(&fed, &result.path.unwrap()),
+                Some(truth),
+                "round {round}: stale index on {s}->{t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn update_equals_rebuild_for_query_purposes() {
+    // After an update, the index answers exactly like a from-scratch
+    // rebuild would (the shortcut sets may differ in redundant entries;
+    // answers may not).
+    let g = grid_city(&GridCityParams::with_target_vertices(140), 17);
+    let w = gen_silo_weights(&g, CongestionLevel::Moderate, 2, 17);
+    let mut fed = Federation::new(
+        g,
+        w,
+        FederationConfig {
+            backend: SacBackend::Modeled,
+            seed: 17,
+        },
+    );
+    let mut updated_engine = QueryEngine::build(&mut fed, Method::FedShortcut.config());
+
+    // Perturb and update.
+    let m = fed.graph().num_arcs();
+    let changed: Vec<ArcId> = (0..m).step_by(41).map(|i| ArcId(i as u32)).collect();
+    let mut w0 = fed.silo(0).as_slice().to_vec();
+    for a in &changed {
+        w0[a.index()] = w0[a.index()] * 3 / 2 + 1;
+    }
+    fed.update_silo_weights(0, w0);
+    updated_engine.update_index(&mut fed, &changed).unwrap();
+
+    // Rebuild from scratch on the new weights.
+    let rebuilt_engine = QueryEngine::build(&mut fed, Method::FedShortcut.config());
+
+    let oracle = JointOracle::new(&fed);
+    let n = fed.graph().num_vertices() as u32;
+    for (s, t) in [(0, n - 1), (9, n / 2), (n - 5, 3), (n / 4, 3 * n / 4)] {
+        let (s, t) = (VertexId(s), VertexId(t));
+        let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
+        let a = updated_engine.spsp(&mut fed, s, t);
+        let b = rebuilt_engine.spsp(&mut fed, s, t);
+        assert_eq!(oracle.path_cost_scaled(&fed, &a.path.unwrap()), Some(truth));
+        assert_eq!(oracle.path_cost_scaled(&fed, &b.path.unwrap()), Some(truth));
+    }
+}
+
+#[test]
+fn decreasing_weights_are_handled_too() {
+    // Congestion clearing (weights decreasing back toward free flow) can
+    // invalidate previously-needed shortcuts' optimality — updates must
+    // handle both directions of change.
+    let g = grid_city(&GridCityParams::with_target_vertices(140), 23);
+    let w = gen_silo_weights(&g, CongestionLevel::Heavy, 3, 23);
+    let mut fed = Federation::new(
+        g,
+        w,
+        FederationConfig {
+            backend: SacBackend::Modeled,
+            seed: 23,
+        },
+    );
+    let mut engine = QueryEngine::build(&mut fed, Method::FedRoad.config());
+
+    // Clear all congestion on silo 1: back to static weights.
+    let statics = fed.graph().static_weights().to_vec();
+    let old = fed.silo(1).as_slice().to_vec();
+    let changed: Vec<ArcId> = (0..old.len())
+        .filter(|&i| old[i] != statics[i])
+        .map(|i| ArcId(i as u32))
+        .collect();
+    assert!(!changed.is_empty());
+    fed.update_silo_weights(1, statics);
+    engine.update_index(&mut fed, &changed).unwrap();
+
+    let oracle = JointOracle::new(&fed);
+    let n = fed.graph().num_vertices() as u32;
+    for (s, t) in [(0, n - 1), (n / 3, 5)] {
+        let (s, t) = (VertexId(s), VertexId(t));
+        let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
+        let result = engine.spsp(&mut fed, s, t);
+        assert_eq!(
+            oracle.path_cost_scaled(&fed, &result.path.unwrap()),
+            Some(truth)
+        );
+    }
+}
+
+#[test]
+fn stale_index_demonstrably_misroutes() {
+    // The motivating counterpart of the update machinery: refresh weights
+    // *without* updating the index and some queries come back suboptimal.
+    // (Deterministic seed; the perturbation reshapes optimal routes.)
+    let g = grid_city(&GridCityParams::with_target_vertices(200), 29);
+    let w = gen_silo_weights(&g, CongestionLevel::Free, 2, 29);
+    let mut fed = Federation::new(
+        g,
+        w,
+        FederationConfig {
+            backend: SacBackend::Modeled,
+            seed: 29,
+        },
+    );
+    let engine = QueryEngine::build(&mut fed, Method::FedShortcut.config());
+
+    // Heavy congestion appears on silo 0 after the index was built.
+    let mut rng = ChaCha12Rng::seed_from_u64(43);
+    let mut w0 = fed.silo(0).as_slice().to_vec();
+    for entry in w0.iter_mut() {
+        if rng.gen_bool(0.5) {
+            *entry *= 4;
+        }
+    }
+    fed.update_silo_weights(0, w0);
+    // NOTE: deliberately no engine.update_index(...) here.
+
+    let oracle = JointOracle::new(&fed);
+    let n = fed.graph().num_vertices() as u32;
+    let mut mismatches = 0;
+    for q in 0..10u32 {
+        let (s, t) = (VertexId((q * 37) % n), VertexId((q * 71 + n / 2) % n));
+        if s == t {
+            continue;
+        }
+        let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
+        let path = engine.spsp(&mut fed, s, t).path.unwrap();
+        if oracle.path_cost_scaled(&fed, &path) != Some(truth) {
+            mismatches += 1;
+        }
+    }
+    assert!(
+        mismatches > 0,
+        "a stale index should misroute under reshaped congestion"
+    );
+}

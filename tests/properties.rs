@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) over the core invariants, with fully
+//! random graphs, weights and operation sequences — beyond the structured
+//! generators the unit tests use.
+
+use fedroad::{
+    CongestionLevel, Coord, Federation, FederationConfig, Graph, GraphBuilder, JointOracle,
+    Method, PriorityQueue, QueryEngine, QueueKind, SacBackend, VertexId,
+};
+use proptest::prelude::*;
+
+/// A random strongly connected multigraph-free graph: a ring backbone
+/// (guaranteeing strong connectivity) plus random chords.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (6usize..40, proptest::collection::vec((0u32..40, 0u32..40, 1u64..500), 0..60)).prop_map(
+        |(n, chords)| {
+            let mut b = GraphBuilder::new();
+            for i in 0..n {
+                b.add_vertex(Coord {
+                    x: i as f64,
+                    y: (i * i % 7) as f64,
+                });
+            }
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..n as u32 {
+                let j = (i + 1) % n as u32;
+                b.add_arc(VertexId(i), VertexId(j), 10 + (i as u64 % 13));
+                seen.insert((i, j));
+            }
+            for (u, v, w) in chords {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v && seen.insert((u, v)) {
+                    b.add_arc(VertexId(u), VertexId(v), w);
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+/// Random per-silo weight sets: independent positive scalings of the
+/// static weights.
+fn arb_silo_weights(graph: &Graph, silos: usize, seed: u64) -> Vec<Vec<u64>> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+    (0..silos)
+        .map(|_| {
+            graph
+                .static_weights()
+                .iter()
+                .map(|&w| {
+                    let factor: f64 = rng.gen_range(1.0..2.5);
+                    ((w as f64 * factor) as u64).max(1)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every method agrees with the ideal world on arbitrary directed
+    /// graphs (not just road-like grids).
+    #[test]
+    fn federated_queries_match_oracle_on_random_graphs(
+        graph in arb_graph(),
+        seed in 0u64..1000,
+        s_raw in 0u32..1000,
+        t_raw in 0u32..1000,
+    ) {
+        let n = graph.num_vertices() as u32;
+        let (s, t) = (VertexId(s_raw % n), VertexId(t_raw % n));
+        let silos = arb_silo_weights(&graph, 3, seed);
+        let mut fed = Federation::new(graph, silos, FederationConfig {
+            backend: SacBackend::Modeled,
+            seed,
+        });
+        let oracle = JointOracle::new(&fed);
+        let truth = oracle.spsp_scaled(&fed, s, t).expect("strongly connected").0;
+        for method in [Method::NaiveDijk, Method::FedShortcut, Method::FedRoad] {
+            let engine = QueryEngine::build(&mut fed, method.config());
+            let result = engine.spsp(&mut fed, s, t);
+            let path = result.path.expect("strongly connected");
+            prop_assert_eq!(
+                oracle.path_cost_scaled(&fed, &path),
+                Some(truth),
+                "{} suboptimal", method.name()
+            );
+        }
+    }
+
+    /// All queue implementations behave as priority queues under random
+    /// operation sequences (model-checked against a sorted vector).
+    #[test]
+    fn queues_match_reference_model(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                Just(None),
+                proptest::collection::vec(0u64..10_000, 1..12).prop_map(Some),
+            ],
+            1..80,
+        )
+    ) {
+        for kind in QueueKind::ALL {
+            let mut q = kind.instantiate::<u64>();
+            let mut model: Vec<u64> = Vec::new();
+            let mut cmp = |a: &u64, b: &u64| a < b;
+            for op in &ops {
+                match op {
+                    Some(batch) => {
+                        model.extend(batch.iter().copied());
+                        q.push_batch(batch.clone(), &mut cmp);
+                    }
+                    None => {
+                        model.sort_unstable();
+                        let want = if model.is_empty() { None } else { Some(model.remove(0)) };
+                        prop_assert_eq!(q.pop(&mut cmp), want, "{} diverged", kind.name());
+                    }
+                }
+            }
+            // Drain and compare the remainder.
+            model.sort_unstable();
+            for want in model {
+                prop_assert_eq!(q.pop(&mut cmp), Some(want), "{} drain", kind.name());
+            }
+            prop_assert_eq!(q.pop(&mut cmp), None);
+        }
+    }
+
+    /// The secure comparison equals plain `<` on arbitrary bounded inputs,
+    /// for arbitrary party counts.
+    #[test]
+    fn fed_sac_equals_plain_comparison(
+        parties in 2usize..7,
+        a in proptest::collection::vec(0u64..(1u64 << 50), 7),
+        b in proptest::collection::vec(0u64..(1u64 << 50), 7),
+        seed in 0u64..100,
+    ) {
+        let mut engine = fedroad::SacEngine::new(parties, SacBackend::Real, seed);
+        let av = &a[..parties];
+        let bv = &b[..parties];
+        prop_assert_eq!(
+            engine.less_than(av, bv),
+            av.iter().sum::<u64>() < bv.iter().sum::<u64>()
+        );
+    }
+
+    /// TM-tree batch pushes never exceed the paper's comparison bound of
+    /// `n − 1 + O(log |Q|)` per batch.
+    #[test]
+    fn tm_tree_batch_push_is_within_bound(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..100_000, 1..20),
+            1..40,
+        )
+    ) {
+        let mut q = fedroad::TmTree::new(4);
+        let mut cmp = |a: &u64, b: &u64| a < b;
+        let mut total = 0usize;
+        for batch in &batches {
+            let before = q.counts().build + q.counts().merge;
+            total += batch.len();
+            q.push_batch(batch.clone(), &mut cmp);
+            let cost = (q.counts().build + q.counts().merge - before) as usize;
+            // log_2 bound with slack for the cascading merges.
+            let bound = batch.len() - 1 + 4 * (usize::BITS - total.leading_zeros()) as usize + 4;
+            prop_assert!(
+                cost <= bound,
+                "batch of {} cost {} > bound {} at size {}",
+                batch.len(), cost, bound, total
+            );
+        }
+    }
+
+    /// Traffic generation invariants: congestion never speeds a road up,
+    /// never changes topology, and the joint average sits between the
+    /// per-silo extremes.
+    #[test]
+    fn congestion_model_invariants(seed in 0u64..500) {
+        let g = fedroad::grid_city(&fedroad::GridCityParams::small(), seed);
+        let silos = fedroad::gen_silo_weights(&g, CongestionLevel::Heavy, 4, seed);
+        let joint = fedroad::joint_weights(&silos);
+        for i in 0..g.num_arcs() {
+            let w0 = g.static_weights()[i];
+            let min = silos.iter().map(|s| s[i]).min().unwrap();
+            let max = silos.iter().map(|s| s[i]).max().unwrap();
+            prop_assert!(min >= w0);
+            prop_assert!(joint[i] >= min.min(max) && joint[i] <= max);
+        }
+    }
+}

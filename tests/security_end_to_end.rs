@@ -1,0 +1,117 @@
+//! End-to-end security verification across the full stack: the §VII
+//! simulation argument (bit-replay reproduces queries), the structural
+//! traffic audit, and the masked-opening uniformity audit — on complete
+//! federated queries, not just isolated operators.
+
+use fedroad::{
+    gen_silo_weights, grid_city, verify_spsp_security, CongestionLevel, Federation,
+    FederationConfig, GridCityParams, Method, QueryEngine, SacBackend, VertexId,
+};
+use fedroad_mpc::MsgKind;
+
+fn make_fed(seed: u64) -> Federation {
+    let g = grid_city(&GridCityParams::with_target_vertices(120), seed);
+    let w = gen_silo_weights(&g, CongestionLevel::Moderate, 3, seed);
+    Federation::new(
+        g,
+        w,
+        FederationConfig {
+            backend: SacBackend::Real,
+            seed,
+        },
+    )
+}
+
+#[test]
+fn every_method_passes_the_full_security_verification() {
+    let methods = [
+        Method::NaiveDijk,
+        Method::FedShortcut,
+        Method::FedShortcutAltMax,
+        Method::FedShortcutAlt,
+        Method::FedShortcutAmps,
+        Method::FedRoad,
+    ];
+    for method in methods {
+        let mut fed = make_fed(31);
+        let engine = QueryEngine::build(&mut fed, method.config());
+        let n = fed.graph().num_vertices() as u32;
+        let report = verify_spsp_security(&engine, &mut fed, VertexId(2), VertexId(n - 3));
+        assert!(
+            report.passed(),
+            "{} failed security verification: {report:?}",
+            method.name()
+        );
+        assert!(report.invocations > 0);
+    }
+}
+
+#[test]
+fn only_allowed_message_kinds_ever_cross_the_wire() {
+    let mut fed = make_fed(33);
+    let engine = QueryEngine::build(&mut fed, Method::FedRoad.config());
+    let n = fed.graph().num_vertices() as u32;
+    for (s, t) in [(0, n - 1), (5, 60), (90, 4)] {
+        engine.spsp(&mut fed, VertexId(s), VertexId(t));
+    }
+    for kind in fed.engine().kind_counts().keys() {
+        assert!(
+            MsgKind::ALLOWED.contains(kind),
+            "disallowed message kind {kind:?} observed"
+        );
+    }
+    // And the traffic profile matches the execution count exactly.
+    fedroad_mpc::audit_engine(fed.engine(), fed.engine().batch_count())
+        .expect("traffic audit");
+}
+
+#[test]
+fn revealed_information_is_only_comparison_bits() {
+    // The transcript of a whole query contains exactly: one uniform masked
+    // opening and one boolean per Fed-SAC invocation. Nothing else is
+    // recorded because nothing else is revealed.
+    let mut fed = make_fed(35);
+    let engine = QueryEngine::build(&mut fed, Method::FedShortcutAmps.config());
+    fed.engine_mut().enable_transcript();
+    let n = fed.graph().num_vertices() as u32;
+    let result = engine.spsp(&mut fed, VertexId(1), VertexId(n - 2));
+    let invocations = result.stats.sac_invocations as usize;
+    let t = fed.engine().transcript().unwrap();
+    assert_eq!(t.revealed_bits.len(), invocations);
+    assert_eq!(t.masked_opens.len(), invocations);
+    fedroad_mpc::audit_masked_uniformity(t).expect("uniform masks");
+}
+
+#[test]
+fn transcripts_differ_across_queries_but_results_are_deterministic() {
+    // Two federations with different protocol seeds: the secret-sharing
+    // randomness (masked opens) differs, the revealed bits and the result
+    // path are identical — the observable behaviour is a deterministic
+    // function of the data, the randomness leaks nothing about it.
+    let run = |seed: u64| {
+        let g = grid_city(&GridCityParams::with_target_vertices(120), 11);
+        let w = gen_silo_weights(&g, CongestionLevel::Moderate, 3, 11);
+        let mut fed = Federation::new(
+            g,
+            w,
+            FederationConfig {
+                backend: SacBackend::Real,
+                seed,
+            },
+        );
+        let engine = QueryEngine::build(&mut fed, Method::NaiveDijk.config());
+        fed.engine_mut().enable_transcript();
+        let n = fed.graph().num_vertices() as u32;
+        let path = engine.spsp(&mut fed, VertexId(0), VertexId(n - 1)).path;
+        let t = fed.engine().transcript().unwrap().clone();
+        (path, t)
+    };
+    let (path_a, t_a) = run(1000);
+    let (path_b, t_b) = run(2000);
+    assert_eq!(path_a, path_b, "results must not depend on protocol seed");
+    assert_eq!(t_a.revealed_bits, t_b.revealed_bits);
+    assert_ne!(
+        t_a.masked_opens, t_b.masked_opens,
+        "different randomness must give different masks"
+    );
+}
