@@ -13,13 +13,9 @@ fn bench_fedsac(c: &mut Criterion) {
             let mut engine = SacEngine::new(parties, backend, 7);
             let a: Vec<u64> = (0..parties as u64).map(|p| 1_000 + p * 37).collect();
             let b: Vec<u64> = (0..parties as u64).map(|p| 990 + p * 41).collect();
-            group.bench_with_input(
-                BenchmarkId::new(name, parties),
-                &parties,
-                |bencher, _| {
-                    bencher.iter(|| black_box(engine.less_than(black_box(&a), black_box(&b))))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, parties), &parties, |bencher, _| {
+                bencher.iter(|| black_box(engine.less_than(black_box(&a), black_box(&b)).unwrap()))
+            });
         }
     }
     group.finish();

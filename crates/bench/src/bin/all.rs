@@ -24,5 +24,8 @@ fn main() {
             println!("[{name}] records written to {}", path.display());
         }
     }
-    println!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "\nall experiments done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

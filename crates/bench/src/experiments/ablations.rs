@@ -74,7 +74,11 @@ fn core_fraction(rep: &mut Reporter, quick: bool) {
 /// TM-tree balance factor ablation on a synthetic batched workload.
 fn tm_alpha(rep: &mut Reporter, quick: bool) {
     heading("Ablation — TM-tree balance factor α (batched queue workload)");
-    let alphas = if quick { vec![2usize, 4] } else { vec![2usize, 4, 8, 16] };
+    let alphas = if quick {
+        vec![2usize, 4]
+    } else {
+        vec![2usize, 4, 8, 16]
+    };
     let rounds = if quick { 400u64 } else { 2_000 };
     let mut rows = Vec::new();
     for &alpha in &alphas {
@@ -99,7 +103,12 @@ fn tm_alpha(rep: &mut Reporter, quick: bool) {
         let c = q.counts();
         rows.push((
             format!("alpha = {alpha}"),
-            vec![c.build as f64, c.merge as f64, c.pop as f64, c.total() as f64],
+            vec![
+                c.build as f64,
+                c.merge as f64,
+                c.pop as f64,
+                c.total() as f64,
+            ],
         ));
         rep.record(
             "ablations",
@@ -123,7 +132,12 @@ fn naive_with_tm(rep: &mut Reporter, quick: bool) {
     heading("Ablation — TM-tree over Naive-Dijk (the paper's baseline 6)");
     let preset = RoadNetworkPreset::CalS;
     let mut bench = setup::build(preset, DEFAULT_SILOS, CongestionLevel::Moderate);
-    let groups = hop_bucketed_queries(&bench.graph, &preset.hop_buckets(), if quick { 2 } else { 8 }, BENCH_SEED);
+    let groups = hop_bucketed_queries(
+        &bench.graph,
+        &preset.hop_buckets(),
+        if quick { 2 } else { 8 },
+        BENCH_SEED,
+    );
     let pairs: Vec<_> = groups[2].pairs.clone();
     let mut rows = Vec::new();
     for (name, queue) in [("Heap", QueueKind::Heap), ("TM-tree", QueueKind::TmTree)] {

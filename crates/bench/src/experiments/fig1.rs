@@ -34,18 +34,18 @@ pub fn run(quick: bool) -> Reporter {
     ));
 
     let graph = preset.generate(BENCH_SEED);
-    let truth = joint_weights(&gen_silo_weights(&graph, CongestionLevel::Heavy, 1, BENCH_SEED));
+    let truth = joint_weights(&gen_silo_weights(
+        &graph,
+        CongestionLevel::Heavy,
+        1,
+        BENCH_SEED,
+    ));
     let model = ObservationModel::new(&graph, truth.clone(), BENCH_SEED);
 
     let mut rng = ChaCha12Rng::seed_from_u64(BENCH_SEED ^ 0xF161);
     let n = graph.num_vertices() as u32;
     let queries: Vec<(VertexId, VertexId)> = (0..num_queries)
-        .map(|_| {
-            (
-                VertexId(rng.gen_range(0..n)),
-                VertexId(rng.gen_range(0..n)),
-            )
-        })
+        .map(|_| (VertexId(rng.gen_range(0..n)), VertexId(rng.gen_range(0..n))))
         .filter(|(s, t)| s != t)
         .collect();
 

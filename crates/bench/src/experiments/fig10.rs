@@ -8,17 +8,14 @@ use crate::setup::{self, DEFAULT_SILOS};
 use crate::workload::hop_bucketed_queries;
 use crate::BENCH_SEED;
 use fedroad_core::{Method, QueryEngine};
-use fedroad_mpc::NetworkModel;
 use fedroad_graph::gen::RoadNetworkPreset;
 use fedroad_graph::traffic::CongestionLevel;
+use fedroad_mpc::NetworkModel;
 
 /// Pearson correlation coefficient.
 fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     let n = xs.len() as f64;
-    let (mx, my) = (
-        xs.iter().sum::<f64>() / n,
-        ys.iter().sum::<f64>() / n,
-    );
+    let (mx, my) = (xs.iter().sum::<f64>() / n, ys.iter().sum::<f64>() / n);
     let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     let (vx, vy): (f64, f64) = (
         xs.iter().map(|x| (x - mx).powi(2)).sum(),
@@ -55,14 +52,8 @@ pub fn run(quick: bool) -> Reporter {
     }
 
     let rows = vec![
-        (
-            "modeled time".to_string(),
-            vec![pearson(&sacs, &times)],
-        ),
-        (
-            "per-silo bytes".to_string(),
-            vec![pearson(&sacs, &bytes)],
-        ),
+        ("modeled time".to_string(), vec![pearson(&sacs, &times)]),
+        ("per-silo bytes".to_string(), vec![pearson(&sacs, &bytes)]),
         ("rounds".to_string(), vec![pearson(&sacs, &rounds)]),
     ];
     table("cost metric", &["Pearson r vs #Fed-SAC"], &rows);

@@ -66,8 +66,12 @@ pub fn run(quick: bool) -> Reporter {
             let mut cmp = SacComparator::new(engine);
             LandmarkPartials::build(&BaseView::new(g, silos), num_silos, &landmarks, &mut cmp)
         };
-        let groups =
-            hop_bucketed_queries(&graph, &preset.hop_buckets(), num_queries / 5 + 1, BENCH_SEED);
+        let groups = hop_bucketed_queries(
+            &graph,
+            &preset.hop_buckets(),
+            num_queries / 5 + 1,
+            BENCH_SEED,
+        );
         let queries: Vec<(VertexId, VertexId)> = groups
             .iter()
             .flat_map(|g| g.pairs.iter().copied())

@@ -7,7 +7,7 @@ use crate::report::{heading, table, Reporter};
 use crate::setup::{self, DEFAULT_SILOS};
 use crate::workload::hop_bucketed_queries;
 use crate::BENCH_SEED;
-use fedroad_core::{LowerBoundKind, EngineConfig, QueryEngine};
+use fedroad_core::{EngineConfig, LowerBoundKind, QueryEngine};
 use fedroad_graph::gen::RoadNetworkPreset;
 use fedroad_graph::traffic::CongestionLevel;
 use fedroad_queue::QueueKind;
@@ -81,13 +81,12 @@ pub fn run(quick: bool) -> Reporter {
         }
         pushes_total = pushes;
     }
-    rows.push(("#push (floor)".to_string(), vec![0.0, 0.0, 0.0, pushes_total as f64]));
+    rows.push((
+        "#push (floor)".to_string(),
+        vec![0.0, 0.0, 0.0, pushes_total as f64],
+    ));
 
-    table(
-        "queue",
-        &["build", "merge", "pop", "total"],
-        &rows,
-    );
+    table("queue", &["build", "merge", "pop", "total"], &rows);
     println!("(expected shape: TM-tree push cost ≈ #push; heap pushes cost log|Q| each)");
     assert!(
         tm_push_cost < heap_push_cost,

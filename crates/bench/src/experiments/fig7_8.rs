@@ -6,11 +6,11 @@ use crate::report::{heading, table, Reporter};
 use crate::setup::{self, DEFAULT_SILOS};
 use crate::workload::hop_bucketed_queries;
 use crate::BENCH_SEED;
+use fedroad_core::{FedChIndex, SacComparator};
 use fedroad_core::{Method, QueryEngine, QueryStats};
-use fedroad_mpc::NetworkModel;
 use fedroad_graph::ch::contraction_order;
 use fedroad_graph::traffic::CongestionLevel;
-use fedroad_core::{FedChIndex, SacComparator};
+use fedroad_mpc::NetworkModel;
 
 /// Aggregated means of one (method, group) cell.
 #[derive(Clone, Copy, Default)]
@@ -37,7 +37,11 @@ pub fn run_method(
     for &(s, t) in pairs {
         let result = engine.spsp(&mut bench.fed, s, t);
         let path = result.path.expect("benchmark graphs are connected");
-        let truth = bench.oracle.spsp_scaled(&bench.fed, s, t).expect("connected").0;
+        let truth = bench
+            .oracle
+            .spsp_scaled(&bench.fed, s, t)
+            .expect("connected")
+            .0;
         assert_eq!(
             bench.oracle.path_cost_scaled(&bench.fed, &path),
             Some(truth),
@@ -78,12 +82,8 @@ pub fn run(quick: bool) -> Reporter {
 
     for preset in setup::presets(quick) {
         let mut bench = setup::build(preset, DEFAULT_SILOS, CongestionLevel::Moderate);
-        let groups = hop_bucketed_queries(
-            &bench.graph,
-            &preset.hop_buckets(),
-            per_group,
-            BENCH_SEED,
-        );
+        let groups =
+            hop_bucketed_queries(&bench.graph, &preset.hop_buckets(), per_group, BENCH_SEED);
         let index = shared_index(&mut bench);
 
         heading(&format!(

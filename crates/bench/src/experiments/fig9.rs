@@ -7,9 +7,9 @@ use crate::setup;
 use crate::workload::hop_bucketed_queries;
 use crate::BENCH_SEED;
 use fedroad_core::{Method, QueryEngine};
-use fedroad_mpc::NetworkModel;
 use fedroad_graph::gen::RoadNetworkPreset;
 use fedroad_graph::traffic::CongestionLevel;
+use fedroad_mpc::NetworkModel;
 
 /// Runs the scalability sweep.
 pub fn run(quick: bool) -> Reporter {
@@ -37,13 +37,16 @@ pub fn run(quick: bool) -> Reporter {
 
         for &silos in &silo_counts {
             let mut bench = setup::build(preset, silos, CongestionLevel::Moderate);
-            let groups =
-                hop_bucketed_queries(&bench.graph, &preset.hop_buckets()[..2], per_group, BENCH_SEED);
+            let groups = hop_bucketed_queries(
+                &bench.graph,
+                &preset.hop_buckets()[..2],
+                per_group,
+                BENCH_SEED,
+            );
             let pairs = groups[0].pairs.clone();
             let index = shared_index(&mut bench);
             for (mi, method) in Method::FIGURE7.iter().enumerate() {
-                let engine =
-                    QueryEngine::build_with(&mut bench.fed, method.config(), Some(&index));
+                let engine = QueryEngine::build_with(&mut bench.fed, method.config(), Some(&index));
                 let cell = run_method(&mut bench, &engine, &pairs, &lan);
                 rows[mi].1.push(cell.time_s);
                 rep.record(

@@ -73,9 +73,17 @@ pub fn run(quick: bool) -> Reporter {
                         let mut cmp = SacComparator::new(engine);
                         let view = FedChView::new(&index, &graph);
                         let mut zero = ZeroFedPotential::new(num_silos);
-                        fed_spsp(&view, num_silos, s, t, &mut zero, QueueKind::TmTree, &mut cmp)
-                            .path
-                            .expect("connected")
+                        fed_spsp(
+                            &view,
+                            num_silos,
+                            s,
+                            t,
+                            &mut zero,
+                            QueueKind::TmTree,
+                            &mut cmp,
+                        )
+                        .path
+                        .expect("connected")
                     };
                     assert_eq!(
                         oracle.path_cost_scaled(&bench.fed, &path),
@@ -112,11 +120,9 @@ pub fn run(quick: bool) -> Reporter {
         rows.push((preset.name().to_string(), row));
     }
 
-    table(
-        "dataset",
-        &["0.1%", "1%", "10%", "construction"],
-        &rows,
+    table("dataset", &["0.1%", "1%", "10%", "construction"], &rows);
+    println!(
+        "(expected shape: update time grows with changed fraction, all far below construction)"
     );
-    println!("(expected shape: update time grows with changed fraction, all far below construction)");
     rep
 }

@@ -22,6 +22,7 @@
 //! `results/<name>.json` next to the human-readable tables it prints.
 //! All runs are deterministic.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -1,11 +1,11 @@
 //! Human-readable tables plus machine-readable JSON records.
 
-use serde::Serialize;
+use fedroad_core::jsonio::Value;
 use std::fs;
 use std::path::PathBuf;
 
 /// A generic experiment record: one measured point of a figure or table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Record {
     /// Experiment id, e.g. `"fig7"`.
     pub experiment: String,
@@ -59,15 +59,38 @@ impl Reporter {
         self.records.is_empty()
     }
 
-    /// Writes all records as pretty JSON to `results/<name>.json`
-    /// (directory created on demand) and reports the path.
+    /// All records as one JSON array (the persisted format).
+    pub fn to_json(&self) -> String {
+        Value::Arr(self.records.iter().map(record_to_value).collect()).to_json()
+    }
+
+    /// Writes all records as JSON to `results/<name>.json` (directory
+    /// created on demand) and reports the path.
     pub fn save(&self, name: &str) -> std::io::Result<PathBuf> {
         let dir = PathBuf::from("results");
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{name}.json"));
-        fs::write(&path, serde_json::to_string_pretty(&self.records)?)?;
+        fs::write(&path, self.to_json())?;
         Ok(path)
     }
+}
+
+fn record_to_value(r: &Record) -> Value {
+    Value::Obj(vec![
+        ("experiment".into(), Value::Str(r.experiment.clone())),
+        ("dataset".into(), Value::Str(r.dataset.clone())),
+        ("series".into(), Value::Str(r.series.clone())),
+        ("x".into(), Value::Str(r.x.clone())),
+        (
+            "values".into(),
+            Value::Arr(
+                r.values
+                    .iter()
+                    .map(|(name, v)| Value::Arr(vec![Value::Str(name.clone()), Value::Float(*v)]))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Prints a section header.
@@ -114,8 +137,11 @@ mod tests {
             vec![("sacs".into(), 123.0)],
         );
         assert_eq!(r.len(), 1);
-        let json = serde_json::to_string(&r.records).unwrap();
+        let json = r.to_json();
         assert!(json.contains("Naive-Dijk"));
         assert!(json.contains("figX"));
+        assert!(json.contains("sacs"));
+        // The document must re-parse as valid JSON.
+        fedroad_core::jsonio::Value::parse(&json).unwrap();
     }
 }

@@ -116,8 +116,7 @@ mod tests {
                 // Hop counts are measured on *a* static shortest path; ties
                 // allow small deviations, so verify the bucket loosely.
                 assert!(
-                    path.hops() + 5 >= group.min_hops.max(1)
-                        && path.hops() < group.max_hops + 5,
+                    path.hops() + 5 >= group.min_hops.max(1) && path.hops() < group.max_hops + 5,
                     "hops {} outside bucket {}",
                     path.hops(),
                     group.label()

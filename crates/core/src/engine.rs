@@ -5,8 +5,12 @@
 //! which lower bound, which priority queue — the knobs of the paper's
 //! comparative analysis, §VIII-B) and then serves SPSP and kNN queries.
 
-use crate::federation::Federation;
+// Protocol hot path: a malformed message must become a typed error,
+// never a panic (see fedroad-lint rule `no-panic-hot-path`).
+#![deny(clippy::unwrap_used)]
+
 use crate::fedch::{FedChIndex, FedChStats, FedChView};
+use crate::federation::Federation;
 use crate::lb::{
     FedAltMaxPotential, FedAltPotential, FedAmpsPotential, FedPotential, LandmarkPartials,
     LowerBoundKind, ZeroFedPotential,
@@ -218,8 +222,7 @@ impl QueryEngine {
             None => {
                 let order = contraction_order(fed.graph(), config.order_seed);
                 let n = order.len();
-                let core_size =
-                    ((n as f64) * config.core_fraction).ceil().max(1.0) as usize;
+                let core_size = ((n as f64) * config.core_fraction).ceil().max(1.0) as usize;
                 let (graph, silos, engine) = fed.split_mut();
                 let mut cmp = SacComparator::new(engine);
                 FedChIndex::build(graph, silos, &order, core_size.min(n), &mut cmp)
@@ -235,11 +238,8 @@ impl QueryEngine {
         let (landmark_partials, static_table) = match num_landmarks {
             Some(count) => {
                 let landmarks = select_landmarks(fed.graph(), count);
-                let static_table = LandmarkTable::compute(
-                    fed.graph(),
-                    fed.graph().static_weights(),
-                    &landmarks,
-                );
+                let static_table =
+                    LandmarkTable::compute(fed.graph(), fed.graph().static_weights(), &landmarks);
                 let num_silos = fed.num_silos();
                 let (graph, silos, engine) = fed.split_mut();
                 let mut cmp = SacComparator::new(engine);
@@ -289,7 +289,16 @@ impl QueryEngine {
             if self.config.batch_rounds {
                 cmp = cmp.with_batching();
             }
-            self.run_spsp(g, silos, num_silos, s, t, potential.as_mut(), &mut cmp, &graph)
+            self.run_spsp(
+                g,
+                silos,
+                num_silos,
+                s,
+                t,
+                potential.as_mut(),
+                &mut cmp,
+                &graph,
+            )
         };
         let wall = start.elapsed().as_secs_f64();
         let mut stats = QueryStats::from_delta(&before, &fed.sac_stats(), wall);
@@ -342,6 +351,7 @@ impl QueryEngine {
             LowerBoundKind::Alt { .. } => Box::new(FedAltPotential::new(
                 self.landmark_partials
                     .as_ref()
+                    // lint: panic-ok(build() preprocesses landmarks for every Alt config)
                     .expect("Alt requires landmark preprocessing"),
                 s,
                 t,
@@ -349,7 +359,9 @@ impl QueryEngine {
             LowerBoundKind::AltMax { .. } => Box::new(FedAltMaxPotential::new(
                 self.landmark_partials
                     .as_ref()
+                    // lint: panic-ok(build() preprocesses landmarks for every Alt config)
                     .expect("AltMax requires landmark preprocessing"),
+                // lint: panic-ok(build() fills the static table for AltMax)
                 self.static_table.as_ref().expect("static table"),
                 s,
                 t,
@@ -361,7 +373,12 @@ impl QueryEngine {
     /// nearest to `source` on the WJRN, with their paths (Algorithm 1).
     ///
     /// Always runs on the base network, per the paper's Fed-SSSP.
-    pub fn knn(&self, fed: &mut Federation, source: VertexId, k: usize) -> (Vec<(VertexId, Path)>, QueryStats) {
+    pub fn knn(
+        &self,
+        fed: &mut Federation,
+        source: VertexId,
+        k: usize,
+    ) -> (Vec<(VertexId, Path)>, QueryStats) {
         let before = fed.sac_stats();
         let start = Instant::now();
         let num_silos = fed.num_silos();
@@ -391,6 +408,7 @@ impl QueryEngine {
         let out = result
             .settled
             .iter()
+            // lint: panic-ok(every vertex in `settled` has a parent chain by construction)
             .map(|(v, _)| (*v, result.path_to(*v, n).expect("settled")))
             .collect();
         (out, stats)
@@ -423,6 +441,7 @@ impl QueryEngine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::federation::FederationConfig;

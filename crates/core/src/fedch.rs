@@ -26,11 +26,15 @@
 //! search examined changed, re-running it would reproduce the identical
 //! execution — and gives update costs proportional to the changed fraction.
 
+// Protocol hot path: a malformed message must become a typed error,
+// never a panic (see fedroad-lint rule `no-panic-hot-path`).
+#![deny(clippy::unwrap_used)]
+
 use crate::federation::SiloWeights;
+use crate::jsonio::{JsonError, Value};
 use crate::partials::{EntryComparator, JointComparator, KeyedEntry, PartialKey};
 use crate::view::{ArcVisitor, SearchView};
 use fedroad_graph::{ArcId, Direction, Graph, VertexId, Weight};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Safety valve for federated witness searches; exceeding it conservatively
@@ -39,7 +43,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 pub const WITNESS_SETTLE_LIMIT: usize = 400;
 
 /// One upward arc of the federated hierarchy.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FedChArc {
     /// The other endpoint.
     pub head: VertexId,
@@ -51,7 +55,7 @@ pub struct FedChArc {
 }
 
 /// What one contraction did — the replay log entry powering updates.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct ContractionRecord {
     /// Overlay arcs whose weights this contraction *read*: everything its
     /// witness searches relaxed plus the contracted vertex's incident
@@ -67,7 +71,7 @@ struct ContractionRecord {
 }
 
 /// Statistics of a build or update run.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct FedChStats {
     /// Vertices whose witness searches actually ran.
     pub contracted_fresh: u64,
@@ -83,7 +87,7 @@ pub struct FedChStats {
 /// must strip the other silos' columns before writing to disk in a real
 /// deployment** (in this coordinator-view codebase the index holds all
 /// partial weight vectors; see [`FedChIndex::silo_view`]).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FedChIndex {
     order: Vec<VertexId>,
     rank: Vec<u32>,
@@ -140,9 +144,7 @@ impl FedChIndex {
         let mut contracted = vec![false; n];
         for i in 0..n - core_size {
             let v = index.order[i];
-            let record = contract_fresh(
-                &mut index, &mut fwd, &mut bwd, &mut contracted, v, cmp,
-            );
+            let record = contract_fresh(&mut index, &mut fwd, &mut bwd, &mut contracted, v, cmp);
             index.stats.contracted_fresh += 1;
             index.log.push(record);
         }
@@ -197,10 +199,7 @@ impl FedChIndex {
         let old_log = std::mem::take(&mut self.log);
         for (i, old_record) in old_log.into_iter().enumerate() {
             let v = self.order[i];
-            let needs_fresh = old_record
-                .relaxed
-                .iter()
-                .any(|p| dirty_pairs.contains(p))
+            let needs_fresh = old_record.relaxed.iter().any(|p| dirty_pairs.contains(p))
                 || old_record
                     .settled
                     .iter()
@@ -216,9 +215,8 @@ impl FedChIndex {
                     log: Vec::new(),
                     stats: FedChStats::default(),
                 };
-                let record = contract_fresh(
-                    &mut scratch, &mut fwd, &mut bwd, &mut contracted, v, cmp,
-                );
+                let record =
+                    contract_fresh(&mut scratch, &mut fwd, &mut bwd, &mut contracted, v, cmp);
                 new_up_out = scratch.up_out;
                 new_up_in = scratch.up_in;
                 stats.contracted_fresh += 1;
@@ -295,13 +293,83 @@ impl FedChIndex {
     }
 
     /// Serializes the index to JSON (persistence between sessions).
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string(self)
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        let arcs = |lists: &[Vec<FedChArc>]| -> Value {
+            Value::Arr(
+                lists
+                    .iter()
+                    .map(|list| Value::Arr(list.iter().map(arc_to_value).collect()))
+                    .collect(),
+            )
+        };
+        let doc = Value::Obj(vec![
+            (
+                "order".into(),
+                Value::Arr(self.order.iter().map(|v| Value::Int(v.0 as i128)).collect()),
+            ),
+            (
+                "rank".into(),
+                Value::Arr(self.rank.iter().map(|&r| Value::Int(r as i128)).collect()),
+            ),
+            ("up_out".into(), arcs(&self.up_out)),
+            ("up_in".into(), arcs(&self.up_in)),
+            (
+                "log".into(),
+                Value::Arr(self.log.iter().map(record_to_value).collect()),
+            ),
+            (
+                "stats".into(),
+                Value::Obj(vec![
+                    (
+                        "contracted_fresh".into(),
+                        Value::Int(self.stats.contracted_fresh as i128),
+                    ),
+                    ("replayed".into(), Value::Int(self.stats.replayed as i128)),
+                    ("shortcuts".into(), Value::Int(self.stats.shortcuts as i128)),
+                ]),
+            ),
+        ]);
+        Ok(doc.to_json())
     }
 
     /// Restores an index serialized with [`Self::to_json`].
-    pub fn from_json(json: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        let doc = Value::parse(json)?;
+        let arcs = |key: &str| -> Result<Vec<Vec<FedChArc>>, JsonError> {
+            doc.get(key)?
+                .as_arr()?
+                .iter()
+                .map(|list| list.as_arr()?.iter().map(arc_from_value).collect())
+                .collect()
+        };
+        let stats = doc.get("stats")?;
+        Ok(FedChIndex {
+            order: doc
+                .get("order")?
+                .as_arr()?
+                .iter()
+                .map(|v| v.as_u32().map(VertexId))
+                .collect::<Result<_, _>>()?,
+            rank: doc
+                .get("rank")?
+                .as_arr()?
+                .iter()
+                .map(Value::as_u32)
+                .collect::<Result<_, _>>()?,
+            up_out: arcs("up_out")?,
+            up_in: arcs("up_in")?,
+            log: doc
+                .get("log")?
+                .as_arr()?
+                .iter()
+                .map(record_from_value)
+                .collect::<Result<_, _>>()?,
+            stats: FedChStats {
+                contracted_fresh: stats.get("contracted_fresh")?.as_u64()?,
+                replayed: stats.get("replayed")?.as_u64()?,
+                shortcuts: stats.get("shortcuts")?.as_u64()?,
+            },
+        })
     }
 
     /// Extracts silo `p`'s view of the index: identical structure, but
@@ -340,6 +408,111 @@ impl FedChIndex {
     }
 }
 
+fn weights_to_value(weights: &[Weight]) -> Value {
+    Value::Arr(weights.iter().map(|&w| Value::Int(w as i128)).collect())
+}
+
+fn weights_from_value(v: &Value) -> Result<Vec<Weight>, JsonError> {
+    v.as_arr()?.iter().map(Value::as_u64).collect()
+}
+
+fn arc_to_value(arc: &FedChArc) -> Value {
+    Value::Obj(vec![
+        ("head".into(), Value::Int(arc.head.0 as i128)),
+        ("weights".into(), weights_to_value(&arc.weights)),
+        (
+            "middle".into(),
+            match arc.middle {
+                Some(m) => Value::Int(m.0 as i128),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+fn arc_from_value(v: &Value) -> Result<FedChArc, JsonError> {
+    Ok(FedChArc {
+        head: VertexId(v.get("head")?.as_u32()?),
+        weights: weights_from_value(v.get("weights")?)?,
+        middle: match v.get("middle")? {
+            Value::Null => None,
+            m => Some(VertexId(m.as_u32()?)),
+        },
+    })
+}
+
+fn record_to_value(r: &ContractionRecord) -> Value {
+    Value::Obj(vec![
+        (
+            "relaxed".into(),
+            Value::Arr(
+                r.relaxed
+                    .iter()
+                    .map(|&(a, b)| Value::Arr(vec![Value::Int(a as i128), Value::Int(b as i128)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "settled".into(),
+            Value::Arr(r.settled.iter().map(|&s| Value::Int(s as i128)).collect()),
+        ),
+        (
+            "shortcuts".into(),
+            Value::Arr(
+                r.shortcuts
+                    .iter()
+                    .map(|(u, w, ws)| {
+                        Value::Arr(vec![
+                            Value::Int(u.0 as i128),
+                            Value::Int(w.0 as i128),
+                            weights_to_value(ws),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn record_from_value(v: &Value) -> Result<ContractionRecord, JsonError> {
+    let pair = |p: &Value| -> Result<(u32, u32), JsonError> {
+        match p.as_arr()? {
+            [a, b] => Ok((a.as_u32()?, b.as_u32()?)),
+            _ => Err(JsonError::Schema("expected [tail, head] pair".into())),
+        }
+    };
+    let shortcut = |s: &Value| -> Result<(VertexId, VertexId, Vec<Weight>), JsonError> {
+        match s.as_arr()? {
+            [u, w, ws] => Ok((
+                VertexId(u.as_u32()?),
+                VertexId(w.as_u32()?),
+                weights_from_value(ws)?,
+            )),
+            _ => Err(JsonError::Schema("expected [u, w, weights] triple".into())),
+        }
+    };
+    Ok(ContractionRecord {
+        relaxed: v
+            .get("relaxed")?
+            .as_arr()?
+            .iter()
+            .map(pair)
+            .collect::<Result<_, _>>()?,
+        settled: v
+            .get("settled")?
+            .as_arr()?
+            .iter()
+            .map(Value::as_u32)
+            .collect::<Result<_, _>>()?,
+        shortcuts: v
+            .get("shortcuts")?
+            .as_arr()?
+            .iter()
+            .map(shortcut)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
 /// The endpoint pairs whose shortcut entry differs between two contraction
 /// records: added, removed, or carrying different per-silo weights.
 fn shortcut_diff(
@@ -347,7 +520,9 @@ fn shortcut_diff(
     b: &[(VertexId, VertexId, Vec<Weight>)],
 ) -> Vec<(VertexId, VertexId)> {
     let index = |s: &[(VertexId, VertexId, Vec<Weight>)]| -> HashMap<(u32, u32), Vec<Weight>> {
-        s.iter().map(|(u, w, ws)| ((u.0, w.0), ws.clone())).collect()
+        s.iter()
+            .map(|(u, w, ws)| ((u.0, w.0), ws.clone()))
+            .collect()
     };
     let (ia, ib) = (index(a), index(b));
     let mut out = Vec::new();
@@ -461,14 +636,7 @@ fn contract_fresh(
     v: VertexId,
     cmp: &mut dyn JointComparator,
 ) -> ContractionRecord {
-    record_up_lists(
-        &mut index.up_out,
-        &mut index.up_in,
-        fwd,
-        bwd,
-        contracted,
-        v,
-    );
+    record_up_lists(&mut index.up_out, &mut index.up_in, fwd, bwd, contracted, v);
     let ins: Vec<(u32, Vec<Weight>)> = bwd[v.index()]
         .iter()
         .filter(|(u, _)| !contracted[**u as usize])
@@ -500,7 +668,10 @@ fn contract_fresh(
             .map(|(w, w_vw)| {
                 (
                     *w,
-                    w_uv.iter().zip(w_vw).map(|(a, b)| a + b).collect::<Vec<Weight>>(),
+                    w_uv.iter()
+                        .zip(w_vw)
+                        .map(|(a, b)| a + b)
+                        .collect::<Vec<Weight>>(),
                 )
             })
             .collect();
@@ -542,8 +713,7 @@ fn contract_fresh(
             // jointly so all silos stay consistent.
             let final_weights = match fwd[*u as usize].get(w) {
                 Some(existing) => {
-                    let ex_key: PartialKey =
-                        existing.weights.iter().map(|&x| x as i64).collect();
+                    let ex_key: PartialKey = existing.weights.iter().map(|&x| x as i64).collect();
                     if cmp.less(&via_key, &ex_key) {
                         via.clone()
                     } else {
@@ -552,7 +722,14 @@ fn contract_fresh(
                 }
                 None => via.clone(),
             };
-            apply_shortcut(fwd, bwd, VertexId(*u), VertexId(*w), final_weights.clone(), v);
+            apply_shortcut(
+                fwd,
+                bwd,
+                VertexId(*u),
+                VertexId(*w),
+                final_weights.clone(),
+                v,
+            );
             shortcuts.push((VertexId(*u), VertexId(*w), final_weights));
         }
     }
@@ -619,7 +796,10 @@ fn fed_witness_search(
     let mut out: HashMap<u32, Vec<Weight>> = HashMap::new();
     let silo_count = targets[0].1.len();
 
-    queue.push(QE::new(source.0, vec![0; silo_count]), &mut EntryComparator::new(cmp));
+    queue.push(
+        QE::new(source.0, vec![0; silo_count]),
+        &mut EntryComparator::new(cmp),
+    );
     settled_log.insert(source.0);
 
     while !remaining.is_empty() && settled.len() < WITNESS_SETTLE_LIMIT {
@@ -716,6 +896,7 @@ impl SearchView for FedChView<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::federation::{Federation, FederationConfig};
@@ -750,7 +931,12 @@ mod tests {
         FedChIndex::build(graph, silos, &order, core, &mut cmp)
     }
 
-    fn ch_query(fed: &mut Federation, index: &FedChIndex, s: VertexId, t: VertexId) -> (u64, fedroad_graph::Path) {
+    fn ch_query(
+        fed: &mut Federation,
+        index: &FedChIndex,
+        s: VertexId,
+        t: VertexId,
+    ) -> (u64, fedroad_graph::Path) {
         let oracle = JointOracle::new(fed);
         let num = fed.num_silos();
         let graph = fed.graph().clone();
@@ -943,7 +1129,14 @@ mod hierarchy_property_tests {
     fn up_down_paths_realize_true_joint_distances() {
         let g = grid_city(&GridCityParams::small(), 31);
         let w = gen_silo_weights(&g, CongestionLevel::Moderate, 3, 31);
-        let mut fed = Federation::new(g, w, FederationConfig { backend: SacBackend::Modeled, seed: 31 });
+        let mut fed = Federation::new(
+            g,
+            w,
+            FederationConfig {
+                backend: SacBackend::Modeled,
+                seed: 31,
+            },
+        );
         let oracle = JointOracle::new(&fed);
         let order = contraction_order(fed.graph(), 0);
         let index = {
@@ -956,16 +1149,25 @@ mod hierarchy_property_tests {
         let n = fed.graph().num_vertices();
         let joint = |arc: &FedChArc| -> u64 { arc.weights.iter().sum() };
         let dij = |start: usize, fwd: bool| -> Vec<u64> {
-            let mut dist = vec![u64::MAX/4; n];
+            let mut dist = vec![u64::MAX / 4; n];
             let mut heap = std::collections::BinaryHeap::new();
             dist[start] = 0;
             heap.push(std::cmp::Reverse((0u64, start)));
             while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
-                if d > dist[v] { continue; }
-                let arcs = if fwd { index.up_out(VertexId(v as u32)) } else { index.up_in(VertexId(v as u32)) };
+                if d > dist[v] {
+                    continue;
+                }
+                let arcs = if fwd {
+                    index.up_out(VertexId(v as u32))
+                } else {
+                    index.up_in(VertexId(v as u32))
+                };
                 for a in arcs {
                     let nd = d + joint(a);
-                    if nd < dist[a.head.index()] { dist[a.head.index()] = nd; heap.push(std::cmp::Reverse((nd, a.head.index()))); }
+                    if nd < dist[a.head.index()] {
+                        dist[a.head.index()] = nd;
+                        heap.push(std::cmp::Reverse((nd, a.head.index())));
+                    }
                 }
             }
             dist
@@ -974,7 +1176,10 @@ mod hierarchy_property_tests {
             let df = dij(s, true);
             let db = dij(t, false);
             let best = (0..n).map(|v| df[v].saturating_add(db[v])).min().unwrap();
-            let truth = oracle.spsp_scaled(&fed, VertexId(s as u32), VertexId(t as u32)).unwrap().0;
+            let truth = oracle
+                .spsp_scaled(&fed, VertexId(s as u32), VertexId(t as u32))
+                .unwrap()
+                .0;
             assert_eq!(best, truth, "no exact up-down path {s}->{t}");
         }
     }
@@ -1031,9 +1236,17 @@ mod persistence_tests {
             let mut cmp = SacComparator::new(engine);
             let view = FedChView::new(&restored, &graph);
             let mut zero = crate::lb::ZeroFedPotential::new(3);
-            crate::spsp::fed_spsp(&view, 3, s, t, &mut zero, fedroad_queue::QueueKind::Heap, &mut cmp)
-                .path
-                .unwrap()
+            crate::spsp::fed_spsp(
+                &view,
+                3,
+                s,
+                t,
+                &mut zero,
+                fedroad_queue::QueueKind::Heap,
+                &mut cmp,
+            )
+            .path
+            .unwrap()
         };
         assert_eq!(oracle.path_cost_scaled(&fed, &path), Some(truth));
     }
@@ -1065,9 +1278,17 @@ mod persistence_tests {
             let mut cmp = SacComparator::new(engine);
             let view = FedChView::new(&restored, &graph);
             let mut zero = crate::lb::ZeroFedPotential::new(3);
-            crate::spsp::fed_spsp(&view, 3, s, t, &mut zero, fedroad_queue::QueueKind::TmTree, &mut cmp)
-                .path
-                .unwrap()
+            crate::spsp::fed_spsp(
+                &view,
+                3,
+                s,
+                t,
+                &mut zero,
+                fedroad_queue::QueueKind::TmTree,
+                &mut cmp,
+            )
+            .path
+            .unwrap()
         };
         assert_eq!(oracle.path_cost_scaled(&fed, &path), Some(truth));
     }

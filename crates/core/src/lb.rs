@@ -447,11 +447,8 @@ mod tests {
         let mut fed = make_fed(5);
         let oracle = JointOracle::new(&fed);
         let tables = build_tables(&mut fed, 6);
-        let static_table = LandmarkTable::compute(
-            fed.graph(),
-            fed.graph().static_weights(),
-            &tables.landmarks,
-        );
+        let static_table =
+            LandmarkTable::compute(fed.graph(), fed.graph().static_weights(), &tables.landmarks);
         let (s, t) = (VertexId(2), VertexId(95));
 
         let mut plain = PlainComparator::default();
@@ -473,12 +470,18 @@ mod tests {
             // Backward bounds too.
             let true_b = joint_distance(&fed, &oracle, s, v);
             for (name, est) in [
-                ("Fed-ALT", alt.from_source(v, &mut plain).iter().sum::<i64>()),
+                (
+                    "Fed-ALT",
+                    alt.from_source(v, &mut plain).iter().sum::<i64>(),
+                ),
                 (
                     "Fed-ALT-Max",
                     alt_max.from_source(v, &mut plain).iter().sum::<i64>(),
                 ),
-                ("Fed-AMPS", amps.from_source(v, &mut plain).iter().sum::<i64>()),
+                (
+                    "Fed-AMPS",
+                    amps.from_source(v, &mut plain).iter().sum::<i64>(),
+                ),
             ] {
                 assert!(est <= true_b, "{name} backward bound {est} > {true_b}");
             }
@@ -537,11 +540,8 @@ mod tests {
     fn alt_max_spends_zero_sacs() {
         let mut fed = make_fed(11);
         let tables = build_tables(&mut fed, 5);
-        let static_table = LandmarkTable::compute(
-            fed.graph(),
-            fed.graph().static_weights(),
-            &tables.landmarks,
-        );
+        let static_table =
+            LandmarkTable::compute(fed.graph(), fed.graph().static_weights(), &tables.landmarks);
         let before = fed.sac_stats().invocations;
         {
             let (_, _, engine) = fed.split_mut();

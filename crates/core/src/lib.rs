@@ -46,11 +46,15 @@
 //! assert!(result.stats.sac_invocations > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Share material must never reach a console (fedroad-lint `no-debug-print`).
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod engine;
-pub mod federation;
 pub mod fedch;
+pub mod federation;
+pub mod jsonio;
 pub mod lb;
 pub mod oracle;
 pub mod partials;
@@ -60,8 +64,8 @@ pub mod sssp;
 pub mod view;
 
 pub use engine::{EngineConfig, Method, QueryEngine, QueryResult, QueryStats};
-pub use federation::{Federation, FederationConfig, SiloWeights};
 pub use fedch::{FedChIndex, FedChStats, FedChView};
+pub use federation::{Federation, FederationConfig, SiloWeights};
 pub use lb::LowerBoundKind;
 pub use oracle::JointOracle;
 pub use partials::{JointComparator, PartialCosts, PartialKey, PlainComparator, SacComparator};

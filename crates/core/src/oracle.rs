@@ -27,11 +27,7 @@ impl JointOracle {
         let mut joint = Vec::with_capacity(m);
         let mut scaled = Vec::with_capacity(m);
         for i in 0..m {
-            let sum: u64 = fed
-                .silos()
-                .iter()
-                .map(|s| s.as_slice()[i])
-                .sum();
+            let sum: u64 = fed.silos().iter().map(|s| s.as_slice()[i]).sum();
             joint.push(sum / p);
             // The exact quantity Fed-SAC compares is the *sum* (average
             // times P, no rounding); keep it for exact equality checks.
@@ -100,9 +96,7 @@ mod tests {
         let silos = gen_silo_weights(&g, CongestionLevel::Moderate, 2, 5);
         let fed = Federation::new(g, silos, FederationConfig::default());
         let oracle = JointOracle::new(&fed);
-        let (d, p) = oracle
-            .spsp_scaled(&fed, VertexId(0), VertexId(99))
-            .unwrap();
+        let (d, p) = oracle.spsp_scaled(&fed, VertexId(0), VertexId(99)).unwrap();
         assert_eq!(oracle.path_cost_scaled(&fed, &p), Some(d));
     }
 }

@@ -78,7 +78,9 @@ impl<'e> SacComparator<'e> {
 impl JointComparator for SacComparator<'_> {
     fn less(&mut self, a: &PartialKey, b: &PartialKey) -> bool {
         debug_assert_eq!(a.len(), b.len());
-        self.engine.less_than(&to_ring(a), &to_ring(b))
+        self.engine
+            .less_than(&to_ring(a), &to_ring(b))
+            .expect("in-process Fed-SAC cannot fail on range-checked keys")
     }
 
     fn less_batch(&mut self, pairs: &[(&PartialKey, &PartialKey)]) -> Vec<bool> {
@@ -89,7 +91,9 @@ impl JointComparator for SacComparator<'_> {
             .iter()
             .map(|(a, b)| (to_ring(a), to_ring(b)))
             .collect();
-        self.engine.less_than_many(&ring_pairs)
+        self.engine
+            .less_than_many(&ring_pairs)
+            .expect("in-process Fed-SAC cannot fail on range-checked keys")
     }
 }
 

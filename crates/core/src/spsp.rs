@@ -36,6 +36,10 @@
 //!    the *full* (not averaged) potential is what delivers the paper's
 //!    Figure 7 speedups.
 
+// Protocol hot path: a malformed message must become a typed error,
+// never a panic (see fedroad-lint rule `no-panic-hot-path`).
+#![deny(clippy::unwrap_used)]
+
 use crate::lb::FedPotential;
 use crate::partials::{add_keys, EntryComparator, JointComparator, KeyedEntry, PartialKey};
 use crate::view::SearchView;
@@ -162,12 +166,7 @@ impl<'a> PotentialOracle<'a> {
         }
     }
 
-    fn clamped(
-        &mut self,
-        toward: bool,
-        v: VertexId,
-        cmp: &mut dyn JointComparator,
-    ) -> PartialKey {
+    fn clamped(&mut self, toward: bool, v: VertexId, cmp: &mut dyn JointComparator) -> PartialKey {
         let cache = if toward {
             &self.cache_toward
         } else {
@@ -264,9 +263,7 @@ pub fn fed_spsp(
             middle: None,
         };
         if !coverage {
-            sides[side]
-                .labels
-                .insert(origin.0, (entry.g.clone(), None));
+            sides[side].labels.insert(origin.0, (entry.g.clone(), None));
         }
         sides[side]
             .queue
@@ -294,8 +291,7 @@ pub fn fed_spsp(
         let entry = loop {
             let popped = {
                 let side = &mut sides[idx];
-                side.queue
-                    .pop(&mut EntryComparator::new(cmp))
+                side.queue.pop(&mut EntryComparator::new(cmp))
             };
             match popped {
                 None => {
@@ -394,11 +390,8 @@ pub fn fed_spsp(
                     return false;
                 }
                 if let Some((g_other, o_reach)) = sides[other].labels.get(&head.0) {
-                    let cand: PartialKey = g
-                        .iter()
-                        .zip(g_other)
-                        .map(|(a, b)| (a + b) as i64)
-                        .collect();
+                    let cand: PartialKey =
+                        g.iter().zip(g_other).map(|(a, b)| (a + b) as i64).collect();
                     let (f_reach, b_reach) = if idx == 0 {
                         (reach, *o_reach)
                     } else {
@@ -526,7 +519,7 @@ pub fn fed_spsp(
     for (tail, head, middle) in hops {
         unpack_hop(view, tail, head, middle, &mut vertices);
     }
-    debug_assert_eq!(*vertices.last().unwrap(), t);
+    debug_assert_eq!(vertices.last().copied(), Some(t));
 
     SpspOutcome {
         path: Some(Path::new(vertices)),
@@ -575,10 +568,7 @@ fn fed_spsp_guided(
         },
         &mut EntryComparator::new(cmp),
     );
-    while let Some(entry) = bwd
-        .queue
-        .pop(&mut EntryComparator::new(cmp))
-    {
+    while let Some(entry) = bwd.queue.pop(&mut EntryComparator::new(cmp)) {
         if bwd.settled.contains_key(&entry.v.0) {
             continue;
         }
@@ -620,40 +610,38 @@ fn fed_spsp_guided(
                 middle,
             });
         }
-        bwd.queue
-            .push_batch(push, &mut EntryComparator::new(cmp));
+        bwd.queue.push_batch(push, &mut EntryComparator::new(cmp));
     }
 
     // ---- Phase 2: forward A* with the full potential -------------------
     let mut fwd = Side::new(Direction::Forward, queue_kind);
     let mut mu: Option<(PartialKey, Meeting)> = None;
-    let consider_meeting =
-        |mu: &mut Option<(PartialKey, Meeting)>,
-         g_f: &[u64],
-         v: VertexId,
-         f_reach: Option<(VertexId, Option<VertexId>)>,
-         bwd_labels: &HashMap<u32, Label>,
-         cmp: &mut dyn JointComparator| {
-            let Some((g_b, b_reach)) = bwd_labels.get(&v.0) else {
-                return;
-            };
-            let cand: PartialKey = g_f.iter().zip(g_b).map(|(a, b)| (a + b) as i64).collect();
-            let meeting = Meeting::Label {
-                v,
-                f_reach,
-                b_reach: *b_reach,
-            };
-            *mu = Some(match mu.take() {
-                None => (cand, meeting),
-                Some((best, best_m)) => {
-                    if cmp.less(&cand, &best) {
-                        (cand, meeting)
-                    } else {
-                        (best, best_m)
-                    }
-                }
-            });
+    let consider_meeting = |mu: &mut Option<(PartialKey, Meeting)>,
+                            g_f: &[u64],
+                            v: VertexId,
+                            f_reach: Option<(VertexId, Option<VertexId>)>,
+                            bwd_labels: &HashMap<u32, Label>,
+                            cmp: &mut dyn JointComparator| {
+        let Some((g_b, b_reach)) = bwd_labels.get(&v.0) else {
+            return;
         };
+        let cand: PartialKey = g_f.iter().zip(g_b).map(|(a, b)| (a + b) as i64).collect();
+        let meeting = Meeting::Label {
+            v,
+            f_reach,
+            b_reach: *b_reach,
+        };
+        *mu = Some(match mu.take() {
+            None => (cand, meeting),
+            Some((best, best_m)) => {
+                if cmp.less(&cand, &best) {
+                    (cand, meeting)
+                } else {
+                    (best, best_m)
+                }
+            }
+        });
+    };
 
     let seed_g = vec![0u64; num_silos];
     fwd.labels.insert(s.0, (seed_g.clone(), None));
@@ -674,10 +662,7 @@ fn fed_spsp_guided(
         &mut EntryComparator::new(cmp),
     );
 
-    while let Some(entry) = fwd
-        .queue
-        .pop(&mut EntryComparator::new(cmp))
-    {
+    while let Some(entry) = fwd.queue.pop(&mut EntryComparator::new(cmp)) {
         if fwd.settled.contains_key(&entry.v.0) {
             continue;
         }
@@ -729,8 +714,7 @@ fn fed_spsp_guided(
                 middle,
             });
         }
-        fwd.queue
-            .push_batch(push, &mut EntryComparator::new(cmp));
+        fwd.queue.push_batch(push, &mut EntryComparator::new(cmp));
     }
 
     let mut queue_counts = fwd.queue.counts();
@@ -772,7 +756,7 @@ fn fed_spsp_guided(
     for (tail, head, middle) in hops {
         unpack_hop(view, tail, head, middle, &mut vertices);
     }
-    debug_assert_eq!(*vertices.last().unwrap(), t);
+    debug_assert_eq!(vertices.last().copied(), Some(t));
     SpspOutcome {
         path: Some(Path::new(vertices)),
         settled: settled_total,
@@ -813,15 +797,13 @@ fn push_backward_hops(
 
 /// Walks back-pointers from `v` to the search origin, returning
 /// `[(origin, None), …, (v, middle_of_final_arc)]`.
-fn walk_chain(
-    settled: &SettledMap,
-    v: VertexId,
-) -> Vec<(VertexId, Option<VertexId>)> {
+fn walk_chain(settled: &SettledMap, v: VertexId) -> Vec<(VertexId, Option<VertexId>)> {
     let mut rev = Vec::new();
     let mut cur = v;
     loop {
         let (_, parent, middle) = settled
             .get(&cur.0)
+            // lint: panic-ok(walk_chain is only called on settled vertices)
             .expect("chain vertices are settled");
         rev.push((cur, *middle));
         match parent {
@@ -847,10 +829,12 @@ fn unpack_hop(
         Some(m) => {
             let m1 = view
                 .arc_middle(tail, m)
+                // lint: panic-ok(contraction inserts both halves of every shortcut)
                 .expect("shortcut left half must exist");
             unpack_hop(view, tail, m, m1, out);
             let m2 = view
                 .arc_middle(m, head)
+                // lint: panic-ok(contraction inserts both halves of every shortcut)
                 .expect("shortcut right half must exist");
             unpack_hop(view, m, head, m2, out);
         }
@@ -858,6 +842,7 @@ fn unpack_hop(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::federation::{Federation, FederationConfig};
@@ -888,7 +873,15 @@ mod tests {
         let (g, silos, engine) = fed.split_mut();
         let mut cmp = SacComparator::new(engine);
         let view = BaseView::new(g, silos);
-        let out = fed_spsp(&view, num_silos, s, t, pot.as_mut(), QueueKind::TmTree, &mut cmp);
+        let out = fed_spsp(
+            &view,
+            num_silos,
+            s,
+            t,
+            pot.as_mut(),
+            QueueKind::TmTree,
+            &mut cmp,
+        );
         let path = out.path.expect("connected graph");
         let cost = oracle.path_cost_scaled(fed, &path).expect("valid path");
         assert_eq!(Some(cost), truth, "suboptimal path {s}->{t} (amps={amps})");

@@ -8,8 +8,8 @@
 
 use crate::partials::{EntryComparator, JointComparator, KeyedEntry, PartialKey};
 use crate::view::SearchView;
-use fedroad_queue::{CompareCounts, QueueKind};
 use fedroad_graph::{path_from_parents, Direction, Path, VertexId};
+use fedroad_queue::{CompareCounts, QueueKind};
 use std::collections::HashMap;
 
 /// One queued exploration state: a tentative shortest path to `v`,
@@ -30,12 +30,7 @@ pub struct SsspEntry {
 }
 
 impl SsspEntry {
-    fn new(
-        v: VertexId,
-        g: Vec<u64>,
-        parent: Option<VertexId>,
-        middle: Option<VertexId>,
-    ) -> Self {
+    fn new(v: VertexId, g: Vec<u64>, parent: Option<VertexId>, middle: Option<VertexId>) -> Self {
         let key = g.iter().map(|&x| x as i64).collect();
         SsspEntry {
             v,

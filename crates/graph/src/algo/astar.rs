@@ -135,7 +135,11 @@ mod tests {
 
     /// Straight-line / max-speed potential: admissible because no road is
     /// traversed faster than free flow.
-    fn euclid_potential(g: &Graph, target: VertexId, ms_per_meter: f64) -> impl FnMut(VertexId) -> Weight + '_ {
+    fn euclid_potential(
+        g: &Graph,
+        target: VertexId,
+        ms_per_meter: f64,
+    ) -> impl FnMut(VertexId) -> Weight + '_ {
         let t = g.coord(target);
         move |v: VertexId| (g.coord(v).distance(&t) * ms_per_meter) as Weight
     }

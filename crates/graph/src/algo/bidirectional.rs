@@ -23,10 +23,7 @@ pub fn bidirectional_spsp(
         return Some((0, Path::trivial(source)));
     }
     let n = g.num_vertices();
-    let mut side = [
-        SearchSide::new(n, source),
-        SearchSide::new(n, target),
-    ];
+    let mut side = [SearchSide::new(n, source), SearchSide::new(n, target)];
     let mut mu = INFINITY;
     let mut meet: Option<VertexId> = None;
 

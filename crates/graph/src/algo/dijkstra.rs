@@ -185,8 +185,7 @@ mod tests {
         for v in g.vertices() {
             for arc in g.out_arcs(v) {
                 assert!(
-                    run.dist[arc.head.index()]
-                        <= run.dist[v.index()] + g.static_weight(arc.id),
+                    run.dist[arc.head.index()] <= run.dist[v.index()] + g.static_weight(arc.id),
                     "relaxed arc violates shortest-path property"
                 );
             }

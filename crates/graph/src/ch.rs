@@ -41,9 +41,8 @@ pub fn contraction_order(g: &Graph, seed: u64) -> Vec<VertexId> {
         }
     }
 
-    let tie = |v: u32| -> u64 {
-        (v as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (v as u64)
-    };
+    let tie =
+        |v: u32| -> u64 { (v as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (v as u64) };
 
     let mut heap: BinaryHeap<Reverse<(usize, u64, u32)>> = (0..n as u32)
         .map(|v| Reverse((adj[v as usize].len(), tie(v), v)))
@@ -439,8 +438,7 @@ fn witness_dists(
     let mut dist: HashMap<u32, Weight> = HashMap::new();
     let mut settled: std::collections::HashSet<u32> = Default::default();
     let mut heap = BinaryHeap::new();
-    let mut remaining: std::collections::HashSet<u32> =
-        targets.iter().map(|&(t, _)| t).collect();
+    let mut remaining: std::collections::HashSet<u32> = targets.iter().map(|&(t, _)| t).collect();
     let mut out = HashMap::new();
 
     dist.insert(source.0, 0);
@@ -537,12 +535,7 @@ mod tests {
     #[test]
     fn ch_works_under_congested_weights() {
         let g = grid_city(&GridCityParams::small(), 10);
-        let ws = crate::traffic::gen_silo_weights(
-            &g,
-            crate::traffic::CongestionLevel::Heavy,
-            1,
-            5,
-        );
+        let ws = crate::traffic::gen_silo_weights(&g, crate::traffic::CongestionLevel::Heavy, 1, 5);
         let w = &ws[0];
         let ch = build_ch(&g, w, &contraction_order(&g, 0));
         let n = g.num_vertices() as u32;

@@ -133,7 +133,13 @@ pub fn grid_city(params: &GridCityParams, seed: u64) -> Graph {
         }
     }
 
-    fn street_weight(params: &GridCityParams, u: VertexId, v: VertexId, cols: u32, speed: f64) -> Weight {
+    fn street_weight(
+        params: &GridCityParams,
+        u: VertexId,
+        v: VertexId,
+        cols: u32,
+        speed: f64,
+    ) -> Weight {
         // Grid distance (pre-jitter) keeps weights symmetric per street.
         let (uc, ur) = ((u.0 % cols) as f64, (u.0 / cols) as f64);
         let (vc, vr) = ((v.0 % cols) as f64, (v.0 / cols) as f64);

@@ -10,7 +10,6 @@
 //! cheap.
 
 use crate::ids::{ArcId, Coord, VertexId, Weight};
-use serde::{Deserialize, Serialize};
 
 /// One outgoing (or, in the reverse view, incoming) arc of a vertex.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,7 +24,7 @@ pub struct Arc {
 ///
 /// Construct via [`GraphBuilder`]. All silos in a federation hold the same
 /// `Graph` value; only edge-weight vectors differ between silos.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Graph {
     out_offsets: Vec<u32>,
     out_heads: Vec<VertexId>,

@@ -4,7 +4,6 @@
 //! two index spaces from being mixed up and make the public API
 //! self-documenting.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Travel-time weight of an arc, in integer time units (we use deciseconds
@@ -20,7 +19,7 @@ pub type Weight = u64;
 pub const INFINITY: Weight = u64::MAX / 4;
 
 /// Index of a vertex (road junction) in a [`Graph`](crate::Graph).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VertexId(pub u32);
 
 impl VertexId {
@@ -49,7 +48,7 @@ impl fmt::Display for VertexId {
 /// Arc ids index the per-silo weight vectors: silo `p`'s private weight for
 /// arc `a` is `weights[a.index()]`. An undirected road contributes two arcs
 /// with distinct ids.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ArcId(pub u32);
 
 impl ArcId {
@@ -68,7 +67,7 @@ impl fmt::Debug for ArcId {
 
 /// Planar coordinates of a vertex (used for geometry-based generators,
 /// straight-line lower bounds, and landmark selection tie-breaking).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Coord {
     /// Horizontal position, in meters from the map origin.
     pub x: f64,

@@ -20,6 +20,7 @@
 //! Nothing in this crate touches secret data; per-silo weight vectors are
 //! plain `Vec<Weight>` values whose custody is managed by `fedroad-core`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algo;

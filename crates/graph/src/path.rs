@@ -2,14 +2,13 @@
 
 use crate::graph::Graph;
 use crate::ids::{VertexId, Weight};
-use serde::{Deserialize, Serialize};
 
 /// A walk through the road network, stored as its vertex sequence.
 ///
 /// The paper's `ρ = ⟨v0, v1, …, vl⟩`. Costs are always evaluated against an
 /// explicit weight vector, because in a federation the *same* path has a
 /// different partial cost `φ_p(ρ)` on every silo.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Path {
     vertices: Vec<VertexId>,
 }
@@ -148,10 +147,7 @@ mod tests {
         // parents encode 0 -> 1 -> 2.
         let parents = vec![None, Some(VertexId(0)), Some(VertexId(1)), None];
         let p = path_from_parents(VertexId(0), VertexId(2), &parents).unwrap();
-        assert_eq!(
-            p.vertices(),
-            &[VertexId(0), VertexId(1), VertexId(2)]
-        );
+        assert_eq!(p.vertices(), &[VertexId(0), VertexId(1), VertexId(2)]);
         assert!(path_from_parents(VertexId(0), VertexId(3), &parents).is_none());
     }
 

@@ -5,11 +5,10 @@ use crate::graph::Graph;
 use crate::ids::Weight;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
 
 /// The paper's four congestion levels (§VIII-A), parameterized by the
 /// congested-edge ratio `β` and the maximum slowdown `θ_max`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CongestionLevel {
     /// `β = θ_max = 0`: the static free-flow weights.
     Free,
@@ -71,8 +70,9 @@ pub fn gen_silo_weights(
 
     (0..num_silos)
         .map(|p| {
-            let mut silo_rng =
-                ChaCha12Rng::seed_from_u64(seed ^ 0x5110_0000 ^ (p as u64).wrapping_mul(0x9E37_79B9));
+            let mut silo_rng = ChaCha12Rng::seed_from_u64(
+                seed ^ 0x5110_0000 ^ (p as u64).wrapping_mul(0x9E37_79B9),
+            );
             g.static_weights()
                 .iter()
                 .zip(&congested)

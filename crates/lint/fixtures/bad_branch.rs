@@ -1,0 +1,15 @@
+// lint-fixture: crates/mpc/src/binary.rs
+//! Known-bad: control flow depending on unopened share values (rule
+//! `no-secret-branch`) — a direct timing/trace side channel.
+
+pub fn leaky(rng: &mut Rng) -> u64 {
+    let share = additive_shares(rng, 2, 7);
+    let folded = share[0] ^ share[1];
+    if share[0] > 10 {
+        return 0;
+    }
+    match folded {
+        0 => 1,
+        _ => 2,
+    }
+}

@@ -1,0 +1,5 @@
+// lint-fixture: crates/mpc/src/lib.rs
+//! Known-bad: a crate root missing both mandatory hygiene headers
+//! (rule `crate-hygiene`).
+
+pub fn noop() {}

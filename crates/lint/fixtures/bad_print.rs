@@ -1,0 +1,11 @@
+// lint-fixture: crates/mpc/src/fedsac.rs
+//! Known-bad: console output and debug formatting of share material in
+//! non-test code of a share-handling crate (rule `no-debug-print`).
+
+fn debug_dump(rng: &mut Rng) {
+    let share = additive_shares(rng, 3, 42);
+    println!("first share word {:?}", share);
+    eprintln!("sharing done");
+    dbg!(&share);
+    log(format!("inline {share:?}"));
+}

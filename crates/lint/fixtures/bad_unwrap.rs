@@ -1,0 +1,12 @@
+// lint-fixture: crates/mpc/src/compare.rs
+//! Known-bad: panic paths in a protocol hot path (rule
+//! `no-panic-hot-path`) — a malformed message would crash the party.
+
+pub fn open(x: Option<u64>, y: Option<u64>) -> u64 {
+    let v = x.unwrap();
+    let w = y.expect("peer message");
+    if v == 0 {
+        panic!("zero share");
+    }
+    v + w
+}

@@ -1,0 +1,371 @@
+//! A minimal hand-rolled Rust lexer — just enough fidelity for secret-
+//! hygiene linting: it must never mistake comment or string contents for
+//! code (or a rule could be tripped — or silenced — by prose), must tell
+//! lifetimes from char literals, and must surface the `// lint: …-ok(…)`
+//! escape-hatch markers with their location so rules can honour them.
+//!
+//! Everything else (keywords vs identifiers, operator gluing, numeric
+//! suffixes) is deliberately left to the rule layer, which works on plain
+//! token text.
+
+/// Kinds of significant tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String literal (regular, raw, or byte); `text` is the contents.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One significant token and the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text (string contents for [`TokenKind::Str`]).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// The two escape hatches rules recognise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// `// lint: debug-ok(<reason>)` — permits a Debug/Display impl.
+    DebugOk,
+    /// `// lint: panic-ok(<reason>)` — permits a panic path.
+    PanicOk,
+}
+
+/// A recognised `// lint: …-ok(<reason>)` marker.
+#[derive(Clone, Debug)]
+pub struct Marker {
+    /// Which escape hatch.
+    pub kind: MarkerKind,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// The justification inside the parentheses.
+    pub reason: String,
+}
+
+/// Lexer output: the token stream plus any hygiene markers found in
+/// comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Escape-hatch markers, in source order.
+    pub markers: Vec<Marker>,
+}
+
+/// Tokenizes `src`, discarding comments but recording lint markers.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = chars[start..i].iter().collect();
+                if let Some(marker) = parse_marker(&comment, line) {
+                    out.markers.push(marker);
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comments nest in Rust.
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (text, consumed, newlines) = scan_string(&chars[i..]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            '\'' => {
+                // Lifetime vs char literal: `'ident` not closed by `'` is a
+                // lifetime; anything else (incl. escapes) is a char literal.
+                let mut j = i + 1;
+                if chars.get(j).is_some_and(|&c| is_ident_char(c)) && chars[j] != '\\' {
+                    while chars.get(j).is_some_and(|&c| is_ident_char(c)) {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'\'') && j == i + 2 {
+                        // 'a' — single ident char closed by a quote.
+                        out.tokens.push(Token {
+                            kind: TokenKind::Char,
+                            text: chars[i + 1..j].iter().collect(),
+                            line,
+                        });
+                        i = j + 1;
+                    } else {
+                        out.tokens.push(Token {
+                            kind: TokenKind::Lifetime,
+                            text: chars[i + 1..j].iter().collect(),
+                            line,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: scan to the quote.
+                    let mut k = i + 1;
+                    while k < chars.len() && chars[k] != '\'' {
+                        if chars[k] == '\\' {
+                            k += 1;
+                        }
+                        k += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: chars[i + 1..k.min(chars.len())].iter().collect(),
+                        line,
+                    });
+                    i = (k + 1).min(chars.len());
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len()
+                    && (is_ident_char(chars[i])
+                        || (chars[i] == '.'
+                            && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                            && chars.get(i.wrapping_sub(1)) != Some(&'.')))
+                {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Num,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if is_ident_char(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // Raw / byte string prefixes: r"…", r#"…"#, br"…", b"…".
+                let next = chars.get(i).copied();
+                if (text == "r" || text == "br") && matches!(next, Some('"') | Some('#')) {
+                    let (s, consumed, newlines) = scan_raw_string(&chars[i..]);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: s,
+                        line,
+                    });
+                    line += newlines;
+                    i += consumed;
+                } else if text == "b" && next == Some('"') {
+                    let (s, consumed, newlines) = scan_string(&chars[i..]);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: s,
+                        line,
+                    });
+                    line += newlines;
+                    i += consumed;
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text,
+                        line,
+                    });
+                }
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans a `"…"` string starting at `chars[0] == '"'`; returns (contents,
+/// chars consumed, newlines crossed).
+fn scan_string(chars: &[char]) -> (String, usize, usize) {
+    let mut i = 1;
+    let mut newlines = 0;
+    let mut text = String::new();
+    while i < chars.len() && chars[i] != '"' {
+        if chars[i] == '\\' && i + 1 < chars.len() {
+            text.push(chars[i]);
+            text.push(chars[i + 1]);
+            i += 2;
+            continue;
+        }
+        if chars[i] == '\n' {
+            newlines += 1;
+        }
+        text.push(chars[i]);
+        i += 1;
+    }
+    (text, (i + 1).min(chars.len()), newlines)
+}
+
+/// Scans a raw string starting at `chars[0] ∈ {'"', '#'}` (the prefix
+/// ident was already consumed); returns (contents, consumed, newlines).
+fn scan_raw_string(chars: &[char]) -> (String, usize, usize) {
+    let mut hashes = 0;
+    while chars.get(hashes) == Some(&'#') {
+        hashes += 1;
+    }
+    let mut i = hashes + 1; // past the opening quote
+    let start = i;
+    let mut newlines = 0;
+    'outer: while i < chars.len() {
+        if chars[i] == '"' {
+            let mut ok = true;
+            for h in 0..hashes {
+                if chars.get(i + 1 + h) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                break 'outer;
+            }
+        }
+        if chars[i] == '\n' {
+            newlines += 1;
+        }
+        i += 1;
+    }
+    let text: String = chars[start..i.min(chars.len())].iter().collect();
+    (text, (i + 1 + hashes).min(chars.len()), newlines)
+}
+
+/// Recognises `lint: debug-ok(<reason>)` / `lint: panic-ok(<reason>)`
+/// inside a comment's text.
+fn parse_marker(comment: &str, line: usize) -> Option<Marker> {
+    let at = comment.find("lint:")?;
+    let rest = comment[at + 5..].trim_start();
+    let (kind, rest) = if let Some(r) = rest.strip_prefix("debug-ok(") {
+        (MarkerKind::DebugOk, r)
+    } else if let Some(r) = rest.strip_prefix("panic-ok(") {
+        (MarkerKind::PanicOk, r)
+    } else {
+        return None;
+    };
+    let reason = rest[..rest.find(')')?].to_string();
+    Some(Marker { kind, line, reason })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code_words() {
+        let src = r##"
+            // println! in a comment is not code
+            /* nor is unwrap() in /* a nested */ block */
+            let s = "println!(\"quoted\")";
+            let r = r#"panic! inside raw"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"println".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn markers_are_recorded_with_reasons() {
+        let src = "\n// lint: debug-ok(redacted impl)\nstruct S;\n// lint: panic-ok(invariant)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.markers.len(), 2);
+        assert_eq!(lexed.markers[0].kind, MarkerKind::DebugOk);
+        assert_eq!(lexed.markers[0].line, 2);
+        assert_eq!(lexed.markers[0].reason, "redacted impl");
+        assert_eq!(lexed.markers[1].kind, MarkerKind::PanicOk);
+        assert_eq!(lexed.markers[1].line, 4);
+    }
+
+    #[test]
+    fn lines_survive_multiline_strings() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let toks = lex(src).tokens;
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn ranges_do_not_glue_into_floats() {
+        let toks = lex("for i in 0..4 { let f = 1.5; }").tokens;
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "4", "1.5"]);
+    }
+}

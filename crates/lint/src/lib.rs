@@ -1,0 +1,136 @@
+//! # fedroad-lint — secret-hygiene static analysis for the FedRoad workspace
+//!
+//! The runtime half of the paper's §VII security argument lives in
+//! `fedroad-mpc`'s transcript auditor; this crate is the *source-level*
+//! half: a dependency-free linter (hand-rolled lexer, no proc macros, no
+//! syn) that fails the build when code could format, log, branch on, or
+//! panic-unwind with raw share material. Run it as:
+//!
+//! ```text
+//! cargo run -p fedroad-lint            # lint the whole workspace
+//! cargo run -p fedroad-lint FILE...    # lint specific files (fixtures)
+//! ```
+//!
+//! Rule families (see [`rules`] for exact scoping):
+//!
+//! | rule | what it rejects |
+//! |------|-----------------|
+//! | `no-debug-print` | `println!`/`eprintln!`/`dbg!` and `{:?}` of share values in non-test `mpc`/`core` code |
+//! | `no-debug-on-shares` | `derive(Debug)`/manual `Debug`/`Display` on share-holding types without `// lint: debug-ok(...)` |
+//! | `no-panic-hot-path` | `.unwrap()`/`.expect(`/`panic!` in protocol hot paths without `// lint: panic-ok(...)` |
+//! | `no-secret-branch` | `if`/`match` scrutinees mentioning share-bound identifiers in protocol modules |
+//! | `crate-hygiene` | crate roots missing `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` |
+//!
+//! Fixture files may begin with `// lint-fixture: <repo-relative-path>` to
+//! be linted *as if* they sat at that path — how the self-tests exercise
+//! each rule without planting bad code in the real crates.
+//!
+//! Vendored stand-in crates under `vendor/` are exempt: they model
+//! third-party dependencies, not FedRoad policy surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_source, Finding};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lints one file on disk. A leading `// lint-fixture: <rel>` directive
+/// overrides the path classification; otherwise the path itself (made
+/// relative to `root` when possible) decides which rules apply.
+pub fn lint_file(root: &Path, path: &Path) -> io::Result<Vec<Finding>> {
+    let src = fs::read_to_string(path)?;
+    let rel = fixture_directive(&src).unwrap_or_else(|| rel_path(root, path));
+    Ok(lint_source(&rel, &src))
+}
+
+/// Lints every first-party source file of the workspace at `root`: the
+/// root package's `src/` plus each member under `crates/*/src/`.
+/// Fixture directories and `vendor/` are skipped by construction.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    let mut findings = Vec::new();
+    for file in files {
+        findings.extend(lint_file(root, &file)?);
+    }
+    Ok(findings)
+}
+
+/// Recursively collects `.rs` files under `dir` (no-op if absent),
+/// skipping any `fixtures` directory.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Extracts a `// lint-fixture: <rel>` directive from a file's first line.
+fn fixture_directive(src: &str) -> Option<String> {
+    let first = src.lines().next()?;
+    let rel = first.trim().strip_prefix("// lint-fixture:")?.trim();
+    (!rel.is_empty()).then(|| rel.to_string())
+}
+
+/// Repo-relative path with `/` separators (falls back to the path as
+/// given when it is not under `root`).
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_directive_is_parsed() {
+        assert_eq!(
+            fixture_directive("// lint-fixture: crates/mpc/src/fedsac.rs\nfn f() {}"),
+            Some("crates/mpc/src/fedsac.rs".to_string())
+        );
+        assert_eq!(fixture_directive("fn f() {}"), None);
+    }
+
+    #[test]
+    fn rel_paths_use_forward_slashes() {
+        let root = Path::new("/repo");
+        assert_eq!(
+            rel_path(root, Path::new("/repo/crates/mpc/src/net.rs")),
+            "crates/mpc/src/net.rs"
+        );
+    }
+}

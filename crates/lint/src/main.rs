@@ -1,0 +1,58 @@
+//! `fedroad-lint` binary: lints the workspace (no arguments) or specific
+//! files, printing findings as `file:line: [rule] message` and exiting
+//! non-zero when any rule fires. See the library docs for the rule set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+
+    let result = if args.is_empty() {
+        fedroad_lint::lint_workspace(&root)
+    } else {
+        args.iter()
+            .map(|a| fedroad_lint::lint_file(&root, Path::new(a)))
+            .try_fold(Vec::new(), |mut acc, r| {
+                acc.extend(r?);
+                Ok(acc)
+            })
+    };
+
+    match result {
+        Ok(findings) if findings.is_empty() => {
+            eprintln!("fedroad-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("fedroad-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("fedroad-lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: the current directory when it looks like the
+/// workspace (has `crates/`), else two levels above this crate's
+/// manifest (`crates/lint/../..`).
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("crates").is_dir() && cwd.join("Cargo.toml").is_file() {
+        return cwd;
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or(cwd)
+}

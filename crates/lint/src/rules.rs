@@ -1,0 +1,629 @@
+//! The five secret-hygiene rule families, run over the token stream of
+//! one source file.
+//!
+//! Scoping: rules R1/R2 apply to the *secret crates* (`fedroad-mpc`,
+//! `fedroad-core`) whose values include share material; R3/R4 apply to the
+//! *protocol hot paths* — the modules a malformed or malicious message
+//! reaches before any trust boundary; R5 applies to every crate root.
+//! `#[cfg(test)]` regions are exempt from R1/R3/R4 (tests legitimately
+//! print and unwrap), never from R2/R5.
+
+use crate::lexer::{lex, Lexed, MarkerKind, Token, TokenKind};
+use std::collections::HashSet;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (kebab-case).
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Crates whose non-test code handles share material (R1/R2 scope).
+pub const SECRET_CRATES: [&str; 2] = ["mpc", "core"];
+
+/// Protocol hot paths (R3/R4 scope): code a malformed message reaches.
+pub const HOT_PATHS: [&str; 8] = [
+    "crates/mpc/src/binary.rs",
+    "crates/mpc/src/compare.rs",
+    "crates/mpc/src/fedsac.rs",
+    "crates/mpc/src/net.rs",
+    "crates/mpc/src/threaded.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/fedch.rs",
+    "crates/core/src/spsp.rs",
+];
+
+/// Types that hold raw share words; Debug/Display on them needs a
+/// `// lint: debug-ok(<reason>)` marker (normally a redacted impl).
+pub const SHARE_TYPES: [&str; 6] = [
+    "SharedWord",
+    "EdaBit",
+    "TripleWord",
+    "MacKey",
+    "AuthShare",
+    "PartyMaterial",
+];
+
+/// APIs whose return values are unopened share material. Identifiers
+/// `let`-bound from these are *tainted*: branching on them (R4) or
+/// debug-formatting them (R1) is a leak. `less_than*` is deliberately
+/// absent — its output is the protocol's one intentionally revealed bit.
+pub const SHARE_APIS: [&str; 14] = [
+    "additive_shares",
+    "xor_shares",
+    "edabit",
+    "triple_word",
+    "and_many",
+    "add_public",
+    "add_public_many",
+    "xor_words",
+    "xor_public",
+    "and_public",
+    "shl_words",
+    "exchange",
+    "broadcast_words",
+    "scatter_words",
+];
+
+/// Where a file sits in the lint taxonomy, derived from its repo-relative
+/// path.
+#[derive(Clone, Debug)]
+pub struct FileContext {
+    /// Repo-relative path with `/` separators.
+    pub rel_path: String,
+    /// Whether R1/R2 apply (file under a secret crate's `src/`).
+    pub secret_crate: bool,
+    /// Whether R3/R4 apply (protocol hot path).
+    pub hot_path: bool,
+    /// Whether R5 applies (crate root: `lib.rs`, `main.rs`, `src/bin/*`).
+    pub crate_root: bool,
+}
+
+impl FileContext {
+    /// Classifies a repo-relative path.
+    pub fn classify(rel_path: &str) -> FileContext {
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("fedroad");
+        let crate_root = rel_path.ends_with("/src/lib.rs")
+            || rel_path.ends_with("/src/main.rs")
+            || rel_path == "src/lib.rs"
+            || rel_path == "src/main.rs"
+            || rel_path.starts_with("src/bin/");
+        FileContext {
+            rel_path: rel_path.to_string(),
+            secret_crate: SECRET_CRATES.contains(&crate_name),
+            hot_path: HOT_PATHS.contains(&rel_path),
+            crate_root,
+        }
+    }
+}
+
+/// Runs every rule family over one file's source.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let ctx = FileContext::classify(rel_path);
+    let lexed = lex(src);
+    let test_mask = test_region_mask(&lexed.tokens);
+    let tainted = tainted_idents(&lexed.tokens, &test_mask);
+
+    let mut findings = Vec::new();
+    if ctx.secret_crate {
+        rule_no_debug_print(&ctx, &lexed, &test_mask, &tainted, &mut findings);
+        rule_no_debug_on_shares(&ctx, &lexed, &mut findings);
+    }
+    if ctx.hot_path {
+        rule_no_panic_hot_path(&ctx, &lexed, &test_mask, &mut findings);
+        rule_no_secret_branch(&ctx, &lexed, &test_mask, &tainted, &mut findings);
+    }
+    if ctx.crate_root {
+        rule_crate_hygiene_headers(&ctx, &lexed, src, &mut findings);
+    }
+    findings
+}
+
+/// `mask[i] == true` ⇔ token `i` is inside a `#[cfg(test)]` or `#[test]`
+/// item (attribute through the item's closing brace/semicolon).
+fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].text == "#" && matches!(tokens.get(i + 1), Some(t) if t.text == "[")) {
+            i += 1;
+            continue;
+        }
+        // Find the attribute's closing `]` and check it mentions `test`.
+        let mut j = i + 2;
+        let mut depth = 1;
+        let mut is_test = false;
+        while j < tokens.len() && depth > 0 {
+            match tokens[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                "test" if tokens[j].kind == TokenKind::Ident => is_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test {
+            i = j;
+            continue;
+        }
+        // Mark through the annotated item: skip further attributes, then
+        // brace-match the item body (or stop at a bare `;`).
+        let start = i;
+        let mut k = j;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "{" => {
+                    let mut braces = 1;
+                    k += 1;
+                    while k < tokens.len() && braces > 0 {
+                        match tokens[k].text.as_str() {
+                            "{" => braces += 1,
+                            "}" => braces -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    break;
+                }
+                ";" => {
+                    k += 1;
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        for m in mask.iter_mut().take(k).skip(start) {
+            *m = true;
+        }
+        i = k;
+    }
+    mask
+}
+
+/// One-level taint: identifiers `let`-bound from an expression that calls
+/// a [`SHARE_APIS`] function or mentions an already-tainted identifier.
+fn tainted_idents(tokens: &[Token], test_mask: &[bool]) -> HashSet<String> {
+    let mut tainted: HashSet<String> = HashSet::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text != "let" || tokens[i].kind != TokenKind::Ident || test_mask[i] {
+            i += 1;
+            continue;
+        }
+        // `if let` / `while let` are pattern matches, not bindings of the
+        // RHS value itself — and their "RHS" would wrongly include the
+        // branch body. R4 inspects those scrutinees separately.
+        if i > 0 && (tokens[i - 1].text == "if" || tokens[i - 1].text == "while") {
+            i += 1;
+            continue;
+        }
+        // Bindings: idents between `let` and `=`, cut at the first `:` at
+        // bracket depth 0 (a type annotation, not a binding).
+        let mut bindings: Vec<&str> = Vec::new();
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let mut in_type = false;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            match t.text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                "=" if depth <= 0 => break,
+                ";" if depth <= 0 => break,
+                ":" if depth <= 0 => in_type = true,
+                _ => {
+                    if !in_type && t.kind == TokenKind::Ident && t.text != "mut" {
+                        bindings.push(&t.text);
+                    }
+                }
+            }
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].text != "=" {
+            i = j.max(i + 1);
+            continue;
+        }
+        // RHS: from `=` to the terminating `;` at brace/paren depth 0.
+        let mut k = j + 1;
+        let mut d = 0i32;
+        let mut rhs_tainted = false;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            match t.text.as_str() {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => d -= 1,
+                ";" if d <= 0 => break,
+                _ => {
+                    if t.kind == TokenKind::Ident
+                        && (SHARE_APIS.contains(&t.text.as_str()) || tainted.contains(&t.text))
+                    {
+                        rhs_tainted = true;
+                    }
+                }
+            }
+            k += 1;
+        }
+        if rhs_tainted {
+            for b in bindings {
+                tainted.insert(b.to_string());
+            }
+        }
+        i = k.max(i + 1);
+    }
+    tainted
+}
+
+/// True if a marker of `kind` sits on `line` or up to two lines above —
+/// the escape-hatch placement contract.
+fn marked(lexed: &Lexed, kind: MarkerKind, line: usize) -> bool {
+    lexed
+        .markers
+        .iter()
+        .any(|m| m.kind == kind && m.line <= line && line - m.line <= 2)
+}
+
+/// R1 `no-debug-print`: `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!`
+/// in non-test secret-crate code, and `{:?}` formatting whose subject is a
+/// tainted (share-carrying) identifier.
+fn rule_no_debug_print(
+    ctx: &FileContext,
+    lexed: &Lexed,
+    test_mask: &[bool],
+    tainted: &HashSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    const PRINT_MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if test_mask[i] {
+            continue;
+        }
+        if t.kind == TokenKind::Ident
+            && PRINT_MACROS.contains(&t.text.as_str())
+            && matches!(tokens.get(i + 1), Some(n) if n.text == "!")
+            && !marked(lexed, MarkerKind::DebugOk, t.line)
+        {
+            out.push(Finding {
+                rule: "no-debug-print",
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}!` in non-test code of a share-handling crate; \
+                     share material must never reach a console",
+                    t.text
+                ),
+            });
+        }
+        if t.kind == TokenKind::Str && !marked(lexed, MarkerKind::DebugOk, t.line) {
+            // Inline `{name:?}` of a tainted identifier.
+            for name in inline_debug_subjects(&t.text) {
+                if tainted.contains(&name) {
+                    out.push(Finding {
+                        rule: "no-debug-print",
+                        file: ctx.rel_path.clone(),
+                        line: t.line,
+                        message: format!("`{{{name}:?}}` debug-formats share-carrying `{name}`"),
+                    });
+                }
+            }
+            // Positional `{:?}` whose argument list mentions a tainted
+            // identifier: scan to the end of the enclosing macro call.
+            if t.text.contains("{:?}") {
+                let mut d = 0i32;
+                let mut k = i + 1;
+                while k < tokens.len() {
+                    let a = &tokens[k];
+                    match a.text.as_str() {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => {
+                            d -= 1;
+                            if d < 0 {
+                                break;
+                            }
+                        }
+                        ";" if d <= 0 => break,
+                        _ => {
+                            if a.kind == TokenKind::Ident && tainted.contains(&a.text) {
+                                out.push(Finding {
+                                    rule: "no-debug-print",
+                                    file: ctx.rel_path.clone(),
+                                    line: t.line,
+                                    message: format!(
+                                        "`{{:?}}` debug-formats share-carrying `{}`",
+                                        a.text
+                                    ),
+                                });
+                                break;
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Extracts `name` from every `{name:?}` / `{name:#?}` in a format string.
+fn inline_debug_subjects(fmt: &str) -> Vec<String> {
+    let mut subjects = Vec::new();
+    let bytes = fmt.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            if j > i + 1 {
+                let rest = &fmt[j..];
+                if rest.starts_with(":?}") || rest.starts_with(":#?}") {
+                    subjects.push(fmt[i + 1..j].to_string());
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    subjects
+}
+
+/// R2 `no-debug-on-shares`: `#[derive(.. Debug ..)]` on a [`SHARE_TYPES`]
+/// type, or a manual `Debug`/`Display` impl for one, without a
+/// `// lint: debug-ok(<reason>)` marker.
+fn rule_no_debug_on_shares(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        // derive(…, Debug, …) followed by struct/enum Name.
+        if t.text == "derive"
+            && t.kind == TokenKind::Ident
+            && matches!(tokens.get(i + 1), Some(n) if n.text == "(")
+        {
+            let mut j = i + 2;
+            let mut has_debug = false;
+            while j < tokens.len() && tokens[j].text != ")" {
+                if tokens[j].text == "Debug" {
+                    has_debug = true;
+                }
+                j += 1;
+            }
+            if has_debug {
+                // The annotated item: next struct/enum keyword, then name.
+                let mut k = j;
+                while k < tokens.len() && tokens[k].text != "struct" && tokens[k].text != "enum" {
+                    k += 1;
+                }
+                if let Some(name) = tokens.get(k + 1) {
+                    if SHARE_TYPES.contains(&name.text.as_str())
+                        && !marked(lexed, MarkerKind::DebugOk, t.line)
+                    {
+                        out.push(Finding {
+                            rule: "no-debug-on-shares",
+                            file: ctx.rel_path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "#[derive(Debug)] on share-holding `{}`; write a \
+                                 redacted impl and mark it `// lint: debug-ok(...)`",
+                                name.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // impl [std::fmt::]Debug|Display for Name.
+        if t.text == "impl" && t.kind == TokenKind::Ident {
+            let window = &tokens[i + 1..(i + 16).min(tokens.len())];
+            let trait_pos = window
+                .iter()
+                .position(|w| w.text == "Debug" || w.text == "Display");
+            let for_pos = window.iter().position(|w| w.text == "for");
+            if let (Some(tp), Some(fp)) = (trait_pos, for_pos) {
+                if tp < fp {
+                    if let Some(name) = window.get(fp + 1) {
+                        if SHARE_TYPES.contains(&name.text.as_str())
+                            && !marked(lexed, MarkerKind::DebugOk, t.line)
+                        {
+                            out.push(Finding {
+                                rule: "no-debug-on-shares",
+                                file: ctx.rel_path.clone(),
+                                line: t.line,
+                                message: format!(
+                                    "manual {} impl on share-holding `{}` without \
+                                     `// lint: debug-ok(...)`",
+                                    window[tp].text, name.text
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// R3 `no-panic-hot-path`: `.unwrap()`, `.expect(` and `panic!` in
+/// non-test protocol code — a malformed message must surface as a typed
+/// error, not a crash (which leaks timing and aborts the party).
+fn rule_no_panic_hot_path(
+    ctx: &FileContext,
+    lexed: &Lexed,
+    test_mask: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if test_mask[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let method_call = (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && tokens[i - 1].text == "."
+            && matches!(tokens.get(i + 1), Some(n) if n.text == "(");
+        let panic_macro =
+            t.text == "panic" && matches!(tokens.get(i + 1), Some(n) if n.text == "!");
+        if (method_call || panic_macro) && !marked(lexed, MarkerKind::PanicOk, t.line) {
+            out.push(Finding {
+                rule: "no-panic-hot-path",
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` in a protocol hot path; return a typed ProtocolError \
+                     (or justify with `// lint: panic-ok(...)`)",
+                    if panic_macro { "panic!" } else { &t.text }
+                ),
+            });
+        }
+    }
+}
+
+/// R4 `no-secret-branch`: an `if`/`match` whose scrutinee mentions a
+/// tainted identifier — control flow would depend on share values, a
+/// direct timing/trace channel (the static twin of the constant-trace
+/// audit).
+fn rule_no_secret_branch(
+    ctx: &FileContext,
+    lexed: &Lexed,
+    test_mask: &[bool],
+    tainted: &HashSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if test_mask[i] || t.kind != TokenKind::Ident || (t.text != "if" && t.text != "match") {
+            continue;
+        }
+        // Scrutinee: tokens up to the body's `{` at bracket depth 0.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            let s = &tokens[j];
+            match s.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth <= 0 => break,
+                _ => {
+                    if s.kind == TokenKind::Ident && tainted.contains(&s.text) {
+                        out.push(Finding {
+                            rule: "no-secret-branch",
+                            file: ctx.rel_path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "`{}` scrutinee mentions share-carrying `{}`; \
+                                 protocol control flow must be input-independent",
+                                t.text, s.text
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// R5 `crate-hygiene`: every crate root must carry
+/// `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+fn rule_crate_hygiene_headers(
+    ctx: &FileContext,
+    lexed: &Lexed,
+    _src: &str,
+    out: &mut Vec<Finding>,
+) {
+    for (attr, arg) in [("forbid", "unsafe_code"), ("warn", "missing_docs")] {
+        if !has_inner_attr(&lexed.tokens, attr, arg) {
+            out.push(Finding {
+                rule: "crate-hygiene",
+                file: ctx.rel_path.clone(),
+                line: 1,
+                message: format!("crate root is missing `#![{attr}({arg})]`"),
+            });
+        }
+    }
+}
+
+/// Matches the token sequence `# ! [ attr ( arg … ) ]` anywhere (the
+/// attribute may carry further arguments, e.g. `#![warn(a, b)]`).
+fn has_inner_attr(tokens: &[Token], attr: &str, arg: &str) -> bool {
+    tokens.windows(5).enumerate().any(|(i, w)| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == attr
+            && w[4].text == "("
+            && tokens[i + 5..]
+                .iter()
+                .take_while(|t| t.text != ")")
+                .any(|t| t.text == arg)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_knows_the_taxonomy() {
+        let c = FileContext::classify("crates/mpc/src/compare.rs");
+        assert!(c.secret_crate && c.hot_path && !c.crate_root);
+        let c = FileContext::classify("crates/mpc/src/lib.rs");
+        assert!(c.secret_crate && !c.hot_path && c.crate_root);
+        let c = FileContext::classify("crates/queue/src/tm_tree.rs");
+        assert!(!c.secret_crate && !c.hot_path && !c.crate_root);
+        let c = FileContext::classify("src/bin/fedroad.rs");
+        assert!(!c.secret_crate && c.crate_root);
+    }
+
+    #[test]
+    fn test_regions_are_exempt_from_r1_and_r3() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn ok() {
+                    println!("fine in tests");
+                    let v = Some(1).unwrap();
+                    if v == 0 { panic!("also fine"); }
+                }
+            }
+        "#;
+        assert!(lint_source("crates/mpc/src/compare.rs", src).is_empty());
+    }
+
+    #[test]
+    fn marker_distance_is_bounded() {
+        let src =
+            "// lint: panic-ok(close enough)\n\n\n\nfn f(x: Option<u64>) -> u64 { x.unwrap() }\n";
+        let findings = lint_source("crates/mpc/src/compare.rs", src);
+        assert_eq!(findings.len(), 1, "a marker four lines up must not apply");
+    }
+
+    #[test]
+    fn inline_subject_extraction() {
+        assert_eq!(
+            inline_debug_subjects("a {x:?} b {y:#?} c {z} d {:?}"),
+            vec!["x".to_string(), "y".to_string()]
+        );
+    }
+}

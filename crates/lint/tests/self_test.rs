@@ -1,0 +1,133 @@
+//! Fixture-based self-tests: every rule family must fire on its known-bad
+//! snippet, the known-good snippet and the real workspace must pass, and
+//! the binary's exit codes must match (0 clean, 1 findings).
+
+use fedroad_lint::{lint_file, lint_workspace, Finding};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn workspace_root() -> PathBuf {
+    manifest_dir().ancestors().nth(2).unwrap().to_path_buf()
+}
+
+fn fixture(name: &str) -> Vec<Finding> {
+    let path = manifest_dir().join("fixtures").join(name);
+    lint_file(&workspace_root(), &path).expect("fixture must be readable")
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn bad_print_trips_no_debug_print() {
+    let findings = fixture("bad_print.rs");
+    let rules = rules_of(&findings);
+    // println!, eprintln!, dbg!, positional {:?} of a share, inline {share:?}.
+    assert!(
+        rules.iter().filter(|r| **r == "no-debug-print").count() >= 4,
+        "expected ≥4 no-debug-print findings, got: {findings:?}"
+    );
+}
+
+#[test]
+fn bad_derive_trips_no_debug_on_shares() {
+    let findings = fixture("bad_derive.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "no-debug-on-shares").count(),
+        2,
+        "derive(Debug) on EdaBit and Display on AuthShare: {findings:?}"
+    );
+}
+
+#[test]
+fn bad_unwrap_trips_no_panic_hot_path() {
+    let findings = fixture("bad_unwrap.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "no-panic-hot-path").count(),
+        3,
+        "unwrap, expect, panic!: {findings:?}"
+    );
+}
+
+#[test]
+fn bad_branch_trips_no_secret_branch() {
+    let findings = fixture("bad_branch.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "no-secret-branch").count(),
+        2,
+        "if on share, match on folded share: {findings:?}"
+    );
+}
+
+#[test]
+fn bad_headers_trips_crate_hygiene() {
+    let findings = fixture("bad_headers.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "crate-hygiene").count(),
+        2,
+        "missing forbid(unsafe_code) and warn(missing_docs): {findings:?}"
+    );
+}
+
+#[test]
+fn good_fixture_is_clean() {
+    let findings = fixture("good_clean.rs");
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let findings = lint_workspace(&workspace_root()).expect("workspace must be walkable");
+    assert!(
+        findings.is_empty(),
+        "the workspace must pass its own linter:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn binary_exit_codes_match() {
+    let bin = env!("CARGO_BIN_EXE_fedroad-lint");
+    let root = workspace_root();
+
+    let clean = Command::new(bin)
+        .current_dir(&root)
+        .output()
+        .expect("binary must run");
+    assert!(
+        clean.status.success(),
+        "workspace lint must exit 0; stderr:\n{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    for bad in [
+        "bad_print.rs",
+        "bad_derive.rs",
+        "bad_unwrap.rs",
+        "bad_branch.rs",
+        "bad_headers.rs",
+    ] {
+        let out = Command::new(bin)
+            .current_dir(&root)
+            .arg(Path::new("crates/lint/fixtures").join(bad))
+            .output()
+            .expect("binary must run");
+        assert!(
+            !out.status.success(),
+            "{bad} must make the linter exit non-zero"
+        );
+    }
+}

@@ -37,6 +37,16 @@ pub enum AuditError {
         /// Fraction of ones observed at that position.
         ones_fraction: f64,
     },
+    /// Two executions over same-shape inputs produced different traffic —
+    /// the trace depends on the secret values, an input leak.
+    NonConstantTrace {
+        /// Index of the first execution whose profile deviates.
+        index: usize,
+        /// The baseline profile (execution 0).
+        expected: TraceProfile,
+        /// The deviating profile.
+        observed: TraceProfile,
+    },
 }
 
 impl std::fmt::Display for AuditError {
@@ -54,6 +64,15 @@ impl std::fmt::Display for AuditError {
             AuditError::BiasedMaskedOpens { bit, ones_fraction } => write!(
                 f,
                 "masked opens biased at bit {bit}: ones fraction {ones_fraction:.3}"
+            ),
+            AuditError::NonConstantTrace {
+                index,
+                expected,
+                observed,
+            } => write!(
+                f,
+                "execution {index} traffic deviates from execution 0: \
+                 expected {expected:?}, observed {observed:?}"
             ),
         }
     }
@@ -92,6 +111,65 @@ pub fn audit_engine(engine: &SacEngine, executions: u64) -> Result<(), AuditErro
     for kind in counts.keys() {
         if !MsgKind::ALLOWED.contains(kind) {
             return Err(AuditError::DisallowedKind(format!("{kind:?}")));
+        }
+    }
+    Ok(())
+}
+
+/// Everything a network observer can measure about one protocol execution:
+/// round count, message count, byte volumes, and the per-kind message
+/// histogram. If any of these differ between two executions over
+/// *same-shape* inputs, the traffic is a function of the secret values —
+/// exactly the side channel the semi-honest model must exclude.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceProfile {
+    /// Communication rounds.
+    pub rounds: u64,
+    /// Total messages on the wire.
+    pub messages: u64,
+    /// Total bytes on the wire.
+    pub bytes: u64,
+    /// Bytes through the busiest party (the latency-relevant volume).
+    pub per_party_bytes: u64,
+    /// Message counts per kind, sorted by kind for canonical comparison.
+    pub kind_counts: Vec<(MsgKind, u64)>,
+}
+
+/// Snapshots an engine's observable traffic as a [`TraceProfile`].
+///
+/// Callers comparing executions should [`SacEngine::reset_stats`] between
+/// them or use one fresh engine per execution; kind counters accumulate
+/// for the lifetime audit, so this profile subtracts nothing.
+pub fn trace_profile(engine: &SacEngine) -> TraceProfile {
+    let stats = engine.stats();
+    let mut kind_counts: Vec<(MsgKind, u64)> =
+        engine.kind_counts().iter().map(|(&k, &v)| (k, v)).collect();
+    kind_counts.sort_unstable();
+    TraceProfile {
+        rounds: stats.net.rounds,
+        messages: stats.net.messages,
+        bytes: stats.net.bytes,
+        per_party_bytes: stats.net.per_party_bytes,
+        kind_counts,
+    }
+}
+
+/// The constant-trace check: all profiles — one per execution over inputs
+/// of identical *shape* (same party count, same batch sizes) — must be
+/// bit-identical. Any deviation means message counts or volumes depend on
+/// the secret inputs and is reported as
+/// [`AuditError::NonConstantTrace`] naming the first offender.
+pub fn audit_constant_trace(profiles: &[TraceProfile]) -> Result<(), AuditError> {
+    let Some(reference) = profiles.first() else {
+        return Ok(());
+    };
+    for (index, p) in profiles.iter().enumerate().skip(1) {
+        if p != reference {
+            return Err(AuditError::NonConstantTrace {
+                index,
+                expected: reference.clone(),
+                observed: p.clone(),
+            });
         }
     }
     Ok(())
@@ -170,7 +248,7 @@ mod tests {
     fn clean_run_passes_audit() {
         let mut eng = SacEngine::new(3, SacBackend::Real, 1);
         for i in 0..20u64 {
-            eng.less_than(&[i, i + 1, i + 2], &[i + 3, i, i]);
+            eng.less_than(&[i, i + 1, i + 2], &[i + 3, i, i]).unwrap();
         }
         audit_engine(&eng, 20).expect("clean run must pass");
     }
@@ -179,7 +257,7 @@ mod tests {
     fn modeled_run_passes_the_same_audit() {
         let mut eng = SacEngine::new(4, SacBackend::Modeled, 1);
         for _ in 0..50 {
-            eng.less_than(&[1; 4], &[2; 4]);
+            eng.less_than(&[1; 4], &[2; 4]).unwrap();
         }
         audit_engine(&eng, 50).expect("modeled accounting must be audit-identical");
     }
@@ -187,8 +265,8 @@ mod tests {
     #[test]
     fn wrong_invocation_count_is_detected() {
         let mut eng = SacEngine::new(2, SacBackend::Real, 1);
-        eng.less_than(&[1, 2], &[3, 4]);
-        eng.less_than(&[5, 6], &[7, 8]);
+        eng.less_than(&[1, 2], &[3, 4]).unwrap();
+        eng.less_than(&[5, 6], &[7, 8]).unwrap();
         // Claiming only one invocation happened ⇒ traffic looks excessive.
         let err = audit_engine(&eng, 1).unwrap_err();
         assert!(matches!(err, AuditError::UnexpectedTraffic { .. }));
@@ -202,7 +280,7 @@ mod tests {
         for _ in 0..600 {
             let a = rng.gen_range(0..1u64 << 30);
             let b = rng.gen_range(0..1u64 << 30);
-            eng.less_than(&[a, a], &[b, b]);
+            eng.less_than(&[a, a], &[b, b]).unwrap();
         }
         audit_masked_uniformity(eng.transcript().unwrap()).expect("real masks are uniform");
     }
@@ -220,13 +298,46 @@ mod tests {
     }
 
     #[test]
+    fn same_shape_executions_have_identical_traces() {
+        let profiles: Vec<TraceProfile> = [(1u64, 9u64), (500, 2), (7, 7)]
+            .iter()
+            .map(|&(a, b)| {
+                let mut eng = SacEngine::new(3, SacBackend::Real, a ^ (b << 8));
+                eng.less_than(&[a, a, a], &[b, b, b]).unwrap();
+                trace_profile(&eng)
+            })
+            .collect();
+        audit_constant_trace(&profiles).expect("same-shape runs must trace identically");
+    }
+
+    #[test]
+    fn injected_side_channel_breaks_the_constant_trace() {
+        let mut clean = SacEngine::new(2, SacBackend::Real, 4);
+        clean.less_than(&[1, 2], &[3, 4]).unwrap();
+        let mut leaky = SacEngine::new(2, SacBackend::Real, 4);
+        leaky.less_than(&[1, 2], &[3, 4]).unwrap();
+        leaky.inject_side_channel(MsgKind::MaskedOpen, 1);
+        let err =
+            audit_constant_trace(&[trace_profile(&clean), trace_profile(&leaky)]).unwrap_err();
+        assert!(matches!(err, AuditError::NonConstantTrace { index: 1, .. }));
+    }
+
+    #[test]
+    fn empty_and_singleton_profile_lists_are_trivially_constant() {
+        audit_constant_trace(&[]).unwrap();
+        let mut eng = SacEngine::new(2, SacBackend::Real, 8);
+        eng.less_than(&[1, 1], &[2, 2]).unwrap();
+        audit_constant_trace(&[trace_profile(&eng)]).unwrap();
+    }
+
+    #[test]
     fn simulator_replays_bits_exactly() {
         let mut eng = SacEngine::new(2, SacBackend::Real, 9);
         eng.enable_transcript();
         let inputs = [([1u64, 2], [3u64, 4]), ([9, 9], [1, 1]), ([5, 5], [5, 5])];
         let expected: Vec<bool> = inputs
             .iter()
-            .map(|(a, b)| eng.less_than(a, b))
+            .map(|(a, b)| eng.less_than(a, b).unwrap())
             .collect();
         let mut sim = BitReplaySimulator::from_transcript(eng.transcript().unwrap());
         for &e in &expected {

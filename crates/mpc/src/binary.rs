@@ -7,7 +7,12 @@
 //! Beaver-triple AND, and the only multi-gate construction is the
 //! Kogge–Stone carry-lookahead adder used by the comparison.
 
+// Protocol hot path: a malformed message must become a typed error,
+// never a panic (see fedroad-lint rule `no-panic-hot-path`).
+#![deny(clippy::unwrap_used)]
+
 use crate::dealer::Dealer;
+use crate::error::ProtocolError;
 use crate::net::{Mesh, MsgKind};
 
 /// One XOR-shared 64-bit word: `shares[p]` belongs to party `p`.
@@ -108,10 +113,15 @@ pub const ADDER_TRIPLE_WORDS: u64 = 12;
 /// (G-combine and P-combine), so 6 rounds and 12 triple words total.
 /// The initial generate/propagate words involve one public operand and are
 /// therefore local.
-pub fn add_public(mesh: &mut Mesh, dealer: &mut Dealer, addend: u64, s: &SharedWord) -> SharedWord {
+pub fn add_public(
+    mesh: &mut Mesh,
+    dealer: &mut Dealer,
+    addend: u64,
+    s: &SharedWord,
+) -> Result<SharedWord, ProtocolError> {
     add_public_many(mesh, dealer, &[(addend, s.clone())])
         .pop()
-        .expect("one input, one output")
+        .ok_or(ProtocolError::MissingOutput)
 }
 
 /// Evaluates `k` independent public-plus-shared additions with **shared
@@ -128,34 +138,35 @@ pub fn add_public_many(
         .iter()
         .map(|(addend, s)| and_public(s, *addend))
         .collect();
-    let mut p: Vec<SharedWord> = inputs
+    let mut prop: Vec<SharedWord> = inputs
         .iter()
         .map(|(addend, s)| xor_public(s, *addend))
         .collect();
-    let p0 = p.clone();
+    let prop0 = prop.clone();
 
     for shift in [1u32, 2, 4, 8, 16, 32] {
         let mut pairs = Vec::with_capacity(2 * inputs.len());
         for i in 0..inputs.len() {
-            pairs.push((p[i].clone(), shl_words(&g[i], shift)));
-            pairs.push((p[i].clone(), shl_words(&p[i], shift)));
+            pairs.push((prop[i].clone(), shl_words(&g[i], shift)));
+            pairs.push((prop[i].clone(), shl_words(&prop[i], shift)));
         }
         let res = and_many(mesh, dealer, &pairs);
         // In carry semantics G and P∧G' are never simultaneously 1, so XOR
         // implements the OR of the classic formulation exactly.
         for i in 0..inputs.len() {
             g[i] = xor_words(&g[i], &res[2 * i]);
-            p[i] = res[2 * i + 1].clone();
+            prop[i] = res[2 * i + 1].clone();
         }
     }
 
-    // carry into bit i = G_{i-1}; sum = p ⊕ carries.
+    // carry into bit i = G_{i-1}; sum = prop ⊕ carries.
     (0..inputs.len())
-        .map(|i| xor_words(&p0[i], &shl_words(&g[i], 1)))
+        .map(|i| xor_words(&prop0[i], &shl_words(&g[i], 1)))
         .collect()
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::dealer::{reconstruct_xor, xor_shares};
@@ -206,7 +217,7 @@ mod tests {
                 let pub_val: u64 = rng.gen();
                 let secret: u64 = rng.gen();
                 let s = xor_shares(&mut rng, n, secret);
-                let sum = add_public(&mut mesh, &mut dealer, pub_val, &s);
+                let sum = add_public(&mut mesh, &mut dealer, pub_val, &s).unwrap();
                 assert_eq!(
                     reconstruct_xor(&sum),
                     pub_val.wrapping_add(secret),
@@ -227,7 +238,7 @@ mod tests {
             (0, u64::MAX),
         ] {
             let s = xor_shares(&mut rng, 2, b);
-            let sum = add_public(&mut mesh, &mut dealer, a, &s);
+            let sum = add_public(&mut mesh, &mut dealer, a, &s).unwrap();
             assert_eq!(reconstruct_xor(&sum), a.wrapping_add(b));
         }
     }
@@ -237,7 +248,7 @@ mod tests {
         let (mut mesh, mut dealer, mut rng) = setup(3);
         let s = xor_shares(&mut rng, 3, 1234);
         let before_t = dealer.stats().triple_words;
-        add_public(&mut mesh, &mut dealer, 99, &s);
+        add_public(&mut mesh, &mut dealer, 99, &s).unwrap();
         assert_eq!(mesh.stats().rounds, ADDER_ROUNDS);
         assert_eq!(dealer.stats().triple_words - before_t, ADDER_TRIPLE_WORDS);
     }

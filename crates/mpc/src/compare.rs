@@ -14,8 +14,13 @@
 //! Cost per comparison: 8 online rounds (1 masked open + 6 adder layers +
 //! 1 bit open), 1 edaBit, 12 triple words.
 
+// Protocol hot path: a malformed message must become a typed error,
+// never a panic (see fedroad-lint rule `no-panic-hot-path`).
+#![deny(clippy::unwrap_used)]
+
 use crate::binary::{add_public_many, xor_public, ADDER_ROUNDS, ADDER_TRIPLE_WORDS};
 use crate::dealer::Dealer;
+use crate::error::ProtocolError;
 use crate::net::{Mesh, MsgKind};
 
 /// Online rounds of one [`less_than_zero`] execution.
@@ -35,10 +40,10 @@ pub fn less_than_zero(
     dealer: &mut Dealer,
     d_shares: &[u64],
     opened_mask: Option<&mut Vec<u64>>,
-) -> bool {
-    less_than_zero_many(mesh, dealer, &[d_shares.to_vec()], opened_mask)
+) -> Result<bool, ProtocolError> {
+    less_than_zero_many(mesh, dealer, &[d_shares.to_vec()], opened_mask)?
         .pop()
-        .expect("one input, one output")
+        .ok_or(ProtocolError::MissingOutput)
 }
 
 /// Batched variant of [`less_than_zero`]: `k` independent sign tests share
@@ -50,10 +55,18 @@ pub fn less_than_zero_many(
     dealer: &mut Dealer,
     d_shares_list: &[Vec<u64>],
     opened_mask: Option<&mut Vec<u64>>,
-) -> Vec<bool> {
+) -> Result<Vec<bool>, ProtocolError> {
     let n = mesh.num_parties();
     let k = d_shares_list.len();
-    assert!(k > 0);
+    if k == 0 {
+        return Err(ProtocolError::EmptyBatch);
+    }
+    if let Some(d) = d_shares_list.iter().find(|d| d.len() != n) {
+        return Err(ProtocolError::WrongSiloCount {
+            expected: n,
+            got: d.len(),
+        });
+    }
     let edas: Vec<_> = (0..k).map(|_| dealer.edabit()).collect();
 
     // Step 2: open all masked differences in one round.
@@ -92,9 +105,9 @@ pub fn less_than_zero_many(
         .map(|p| d_bits.iter().map(|bits| (bits[p] >> 63) & 1).collect())
         .collect();
     let recv = mesh.broadcast_words(MsgKind::BitOpen, &msb_words);
-    (0..k)
+    Ok((0..k)
         .map(|i| recv[0].iter().map(|w| w[i]).fold(0u64, |a, s| a ^ s) == 1)
-        .collect()
+        .collect())
 }
 
 /// Accounts the exact communication/preprocessing costs of one comparison
@@ -117,6 +130,7 @@ pub fn account_less_than_zero_many(mesh: &mut Mesh, dealer: &mut Dealer, k: usiz
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::dealer::additive_shares;
@@ -142,7 +156,7 @@ mod tests {
                 let x: u64 = rng.gen_range(0..1u64 << 40);
                 let y: u64 = rng.gen_range(0..1u64 << 40);
                 let d = shares_of_diff(&mut rng, n, x, y);
-                let lt = less_than_zero(&mut mesh, &mut dealer, &d, None);
+                let lt = less_than_zero(&mut mesh, &mut dealer, &d, None).unwrap();
                 assert_eq!(lt, x < y, "{x} < {y} with {n} parties");
             }
         }
@@ -155,7 +169,7 @@ mod tests {
         let mut dealer = Dealer::new(3, 7);
         for v in [0u64, 1, 999_999, 1 << 40] {
             let d = shares_of_diff(&mut rng, 3, v, v);
-            assert!(!less_than_zero(&mut mesh, &mut dealer, &d, None));
+            assert!(!less_than_zero(&mut mesh, &mut dealer, &d, None).unwrap());
         }
     }
 
@@ -166,7 +180,10 @@ mod tests {
         let mut dealer = Dealer::new(2, 1);
         for (x, y) in [(0u64, 1u64), (1, 0), (u64::MAX >> 3, 0), (0, u64::MAX >> 3)] {
             let d = shares_of_diff(&mut rng, 2, x, y);
-            assert_eq!(less_than_zero(&mut mesh, &mut dealer, &d, None), x < y);
+            assert_eq!(
+                less_than_zero(&mut mesh, &mut dealer, &d, None).unwrap(),
+                x < y
+            );
         }
     }
 
@@ -176,7 +193,7 @@ mod tests {
         let mut mesh_r = Mesh::new(3);
         let mut dealer_r = Dealer::new(3, 5);
         let d = shares_of_diff(&mut rng, 3, 10, 20);
-        less_than_zero(&mut mesh_r, &mut dealer_r, &d, None);
+        less_than_zero(&mut mesh_r, &mut dealer_r, &d, None).unwrap();
 
         let mut mesh_m = Mesh::new(3);
         let mut dealer_m = Dealer::new(3, 5);
@@ -194,7 +211,7 @@ mod tests {
         let mut dealer = Dealer::new(2, 9);
         let mut log = Vec::new();
         let d = shares_of_diff(&mut rng, 2, 3, 9);
-        less_than_zero(&mut mesh, &mut dealer, &d, Some(&mut log));
+        less_than_zero(&mut mesh, &mut dealer, &d, Some(&mut log)).unwrap();
         assert_eq!(log.len(), 1);
     }
 
@@ -209,7 +226,7 @@ mod tests {
         let mut log = Vec::new();
         for _ in 0..512 {
             let d = shares_of_diff(&mut rng, 2, 5, 7); // constant inputs!
-            less_than_zero(&mut mesh, &mut dealer, &d, Some(&mut log));
+            less_than_zero(&mut mesh, &mut dealer, &d, Some(&mut log)).unwrap();
         }
         for bit in 0..64 {
             let ones = log.iter().filter(|&&m| (m >> bit) & 1 == 1).count();

@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
 /// Additive + binary sharing of one random 64-bit value.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct EdaBit {
     /// `arith[p]` = party `p`'s additive share; `Σ arith[p] ≡ r (mod 2⁶⁴)`.
     pub arith: Vec<u64>,
@@ -29,7 +29,7 @@ pub struct EdaBit {
 }
 
 /// One word of 64 packed binary Beaver triples, XOR-shared.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct TripleWord {
     /// XOR shares of the random word `a`.
     pub a: Vec<u64>,
@@ -37,6 +37,20 @@ pub struct TripleWord {
     pub b: Vec<u64>,
     /// XOR shares of `c = a & b`.
     pub c: Vec<u64>,
+}
+
+// lint: debug-ok(redacted: prints party count only, never share words)
+impl std::fmt::Debug for EdaBit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EdaBit(<redacted, {} parties>)", self.arith.len())
+    }
+}
+
+// lint: debug-ok(redacted: prints party count only, never share words)
+impl std::fmt::Debug for TripleWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TripleWord(<redacted, {} parties>)", self.a.len())
+    }
 }
 
 /// Accounting of the preprocessing phase.

@@ -14,8 +14,13 @@
 //!   *identical* cost accounting, enabling large experiment sweeps. A test
 //!   pins the two backends to identical results and statistics.
 
+// Protocol hot path: a malformed message must become a typed error,
+// never a panic (see fedroad-lint rule `no-panic-hot-path`).
+#![deny(clippy::unwrap_used)]
+
 use crate::compare::{account_less_than_zero_many, less_than_zero_many, COMPARE_ROUNDS};
 use crate::dealer::{additive_shares, Dealer, DealerStats};
+use crate::error::ProtocolError;
 use crate::net::{Mesh, MsgKind, NetStats, NetworkModel};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -156,34 +161,45 @@ impl SacEngine {
     ///
     /// `a[p]`/`b[p]` are silo `p`'s partial costs of the two paths. Partial
     /// costs must stay below 2⁵⁴ so the sum across ≤ 2⁸ silos keeps the
-    /// signed difference exact (road-network costs are ≤ 2⁴⁰).
-    pub fn less_than(&mut self, a: &[u64], b: &[u64]) -> bool {
-        self.less_than_many(&[(a.to_vec(), b.to_vec())])
+    /// signed difference exact (road-network costs are ≤ 2⁴⁰); inputs
+    /// outside that range return [`ProtocolError::CostOutOfRange`].
+    pub fn less_than(&mut self, a: &[u64], b: &[u64]) -> Result<bool, ProtocolError> {
+        self.less_than_many(&[(a.to_vec(), b.to_vec())])?
             .pop()
-            .expect("one input, one output")
+            .ok_or(ProtocolError::MissingOutput)
     }
 
     /// Batched Fed-SAC: `k` **independent** comparisons executed with
     /// shared protocol rounds (still [`FEDSAC_ROUNDS`] total) — MP-SPDZ
     /// style vectorization. Each invocation still counts toward
     /// `invocations`; the round/latency savings show up in `net.rounds`.
-    pub fn less_than_many(&mut self, pairs: &[(Vec<u64>, Vec<u64>)]) -> Vec<bool> {
+    pub fn less_than_many(
+        &mut self,
+        pairs: &[(Vec<u64>, Vec<u64>)],
+    ) -> Result<Vec<bool>, ProtocolError> {
         let n = self.num_parties();
         let k = pairs.len();
-        assert!(k > 0, "empty comparison batch");
+        if k == 0 {
+            return Err(ProtocolError::EmptyBatch);
+        }
         for (a, b) in pairs {
-            assert_eq!(a.len(), n, "one partial cost per silo");
-            assert_eq!(b.len(), n, "one partial cost per silo");
-            debug_assert!(
-                a.iter().chain(b).all(|&v| v < 1 << 54),
-                "partial costs out of the exact-comparison range"
-            );
+            for side in [a, b] {
+                if side.len() != n {
+                    return Err(ProtocolError::WrongSiloCount {
+                        expected: n,
+                        got: side.len(),
+                    });
+                }
+            }
+            if let Some(&value) = a.iter().chain(b).find(|&&v| v >= 1 << 54) {
+                return Err(ProtocolError::CostOutOfRange { value });
+            }
         }
         self.invocations += k as u64;
         self.batches += 1;
 
         let results = match self.backend {
-            SacBackend::Real => self.less_than_many_real(pairs),
+            SacBackend::Real => self.less_than_many_real(pairs)?,
             SacBackend::Modeled => {
                 // Identical observable results…
                 let results = pairs
@@ -199,10 +215,13 @@ impl SacEngine {
         if let Some(t) = &mut self.transcript {
             t.revealed_bits.extend(&results);
         }
-        results
+        Ok(results)
     }
 
-    fn less_than_many_real(&mut self, pairs: &[(Vec<u64>, Vec<u64>)]) -> Vec<bool> {
+    fn less_than_many_real(
+        &mut self,
+        pairs: &[(Vec<u64>, Vec<u64>)],
+    ) -> Result<Vec<bool>, ProtocolError> {
         let n = self.num_parties();
         let k = pairs.len();
         // Round 1: every party additively shares all its inputs;
@@ -219,12 +238,7 @@ impl SacEngine {
                     })
                     .collect();
                 (0..n)
-                    .map(|q| {
-                        shares
-                            .iter()
-                            .flat_map(|(sa, sb)| [sa[q], sb[q]])
-                            .collect()
-                    })
+                    .map(|q| shares.iter().flat_map(|(sa, sb)| [sa[q], sb[q]]).collect())
                     .collect()
             })
             .collect();
@@ -252,7 +266,20 @@ impl SacEngine {
     }
 }
 
+impl SacEngine {
+    /// Test-only fault injection: accounts one extra broadcast of
+    /// `word_len` words of kind `kind`, as a buggy (or malicious)
+    /// implementation leaking extra data would. Exists so the
+    /// constant-trace audit's negative tests can demonstrate that an
+    /// injected side channel is actually caught — see
+    /// [`crate::audit::audit_constant_trace`].
+    pub fn inject_side_channel(&mut self, kind: MsgKind, word_len: usize) {
+        self.mesh.account_broadcast(kind, word_len);
+    }
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};
@@ -267,7 +294,7 @@ mod tests {
                 let a: Vec<u64> = (0..p).map(|_| rng.gen_range(0..1u64 << 40)).collect();
                 let b: Vec<u64> = (0..p).map(|_| rng.gen_range(0..1u64 << 40)).collect();
                 assert_eq!(
-                    eng.less_than(&a, &b),
+                    eng.less_than(&a, &b).unwrap(),
                     a.iter().sum::<u64>() < b.iter().sum::<u64>()
                 );
             }
@@ -282,7 +309,10 @@ mod tests {
         for _ in 0..300 {
             let a: Vec<u64> = (0..3).map(|_| rng.gen_range(0..1u64 << 38)).collect();
             let b: Vec<u64> = (0..3).map(|_| rng.gen_range(0..1u64 << 38)).collect();
-            assert_eq!(real.less_than(&a, &b), modeled.less_than(&a, &b));
+            assert_eq!(
+                real.less_than(&a, &b).unwrap(),
+                modeled.less_than(&a, &b).unwrap()
+            );
         }
         assert_eq!(real.stats(), modeled.stats());
     }
@@ -290,7 +320,7 @@ mod tests {
     #[test]
     fn per_invocation_costs_match_the_documented_constants() {
         let mut eng = SacEngine::new(3, SacBackend::Real, 1);
-        eng.less_than(&[1, 2, 3], &[4, 5, 6]);
+        eng.less_than(&[1, 2, 3], &[4, 5, 6]).unwrap();
         let s = eng.stats();
         assert_eq!(s.invocations, 1);
         assert_eq!(s.net.rounds, FEDSAC_ROUNDS);
@@ -304,19 +334,19 @@ mod tests {
         // semantics of Equation 2 without a division.
         let mut eng = SacEngine::new(2, SacBackend::Real, 3);
         // avg(3, 5) = 4 < avg(4, 6) = 5.
-        assert!(eng.less_than(&[3, 5], &[4, 6]));
-        assert!(!eng.less_than(&[4, 6], &[3, 5]));
+        assert!(eng.less_than(&[3, 5], &[4, 6]).unwrap());
+        assert!(!eng.less_than(&[4, 6], &[3, 5]).unwrap());
         // Equal averages: strictly-less is false both ways.
-        assert!(!eng.less_than(&[2, 6], &[4, 4]));
-        assert!(!eng.less_than(&[4, 4], &[2, 6]));
+        assert!(!eng.less_than(&[2, 6], &[4, 4]).unwrap());
+        assert!(!eng.less_than(&[4, 4], &[2, 6]).unwrap());
     }
 
     #[test]
     fn transcript_records_bits_and_masks() {
         let mut eng = SacEngine::new(2, SacBackend::Real, 5);
         eng.enable_transcript();
-        let r1 = eng.less_than(&[1, 1], &[5, 5]);
-        let r2 = eng.less_than(&[9, 9], &[5, 5]);
+        let r1 = eng.less_than(&[1, 1], &[5, 5]).unwrap();
+        let r2 = eng.less_than(&[9, 9], &[5, 5]).unwrap();
         let t = eng.transcript().unwrap();
         assert_eq!(t.revealed_bits, vec![r1, r2]);
         assert_eq!(t.masked_opens.len(), 2);
@@ -334,10 +364,10 @@ mod tests {
             })
             .collect();
         let mut batched = SacEngine::new(3, SacBackend::Real, 9);
-        let bits = batched.less_than_many(&pairs);
+        let bits = batched.less_than_many(&pairs).unwrap();
         let mut sequential = SacEngine::new(3, SacBackend::Real, 9);
         for ((a, b), bit) in pairs.iter().zip(&bits) {
-            assert_eq!(sequential.less_than(a, b), *bit);
+            assert_eq!(sequential.less_than(a, b).unwrap(), *bit);
         }
         // Same invocation count and bytes; 16x fewer rounds.
         assert_eq!(batched.stats().invocations, sequential.stats().invocations);
@@ -346,16 +376,36 @@ mod tests {
         assert_eq!(sequential.stats().net.rounds, 16 * FEDSAC_ROUNDS);
         // Modeled twin accounts identically to the real batch.
         let mut modeled = SacEngine::new(3, SacBackend::Modeled, 9);
-        assert_eq!(modeled.less_than_many(&pairs), bits);
+        assert_eq!(modeled.less_than_many(&pairs).unwrap(), bits);
         assert_eq!(modeled.stats(), batched.stats());
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        let mut eng = SacEngine::new(3, SacBackend::Real, 1);
+        assert_eq!(eng.less_than_many(&[]), Err(ProtocolError::EmptyBatch));
+        assert_eq!(
+            eng.less_than(&[1, 2], &[3, 4, 5]),
+            Err(ProtocolError::WrongSiloCount {
+                expected: 3,
+                got: 2
+            })
+        );
+        assert_eq!(
+            eng.less_than(&[1, 2, 1 << 60], &[3, 4, 5]),
+            Err(ProtocolError::CostOutOfRange { value: 1 << 60 })
+        );
+        // A failed call must not account any traffic or invocations.
+        assert_eq!(eng.stats().invocations, 0);
+        assert_eq!(eng.stats().net.rounds, 0);
     }
 
     #[test]
     fn modeled_scales_with_party_count() {
         let mut small = SacEngine::new(2, SacBackend::Modeled, 1);
         let mut large = SacEngine::new(8, SacBackend::Modeled, 1);
-        small.less_than(&[1, 2], &[3, 4]);
-        large.less_than(&[1; 8], &[2; 8]);
+        small.less_than(&[1, 2], &[3, 4]).unwrap();
+        large.less_than(&[1; 8], &[2; 8]).unwrap();
         assert_eq!(small.stats().net.rounds, large.stats().net.rounds);
         assert!(large.stats().net.bytes > small.stats().net.bytes);
         assert!(large.stats().net.per_party_bytes > small.stats().net.per_party_bytes);

@@ -35,17 +35,25 @@
 //! all of `fedroad-core` unchanged — mirroring the paper's remark that the
 //! upper-layer algorithm is independent of the underlying protocol.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Share material must never reach a console (fedroad-lint `no-debug-print`).
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod audit;
 pub mod binary;
 pub mod compare;
 pub mod dealer;
+pub mod error;
 pub mod fedsac;
 pub mod mac;
 pub mod net;
 pub mod threaded;
 
-pub use audit::{audit_engine, audit_masked_uniformity, AuditError, BitReplaySimulator};
+pub use audit::{
+    audit_constant_trace, audit_engine, audit_masked_uniformity, trace_profile, AuditError,
+    BitReplaySimulator, TraceProfile,
+};
+pub use error::ProtocolError;
 pub use fedsac::{SacBackend, SacEngine, SacStats, Transcript, FEDSAC_ROUNDS};
 pub use net::{Mesh, MsgKind, NetStats, NetworkModel, PartyId};

@@ -30,9 +30,16 @@ use rand_chacha::ChaCha12Rng;
 use std::hash::{Hash, Hasher};
 
 /// Additive shares of the global MAC key `α`, one per party.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct MacKey {
     alpha_shares: Vec<u64>,
+}
+
+// lint: debug-ok(redacted: the MAC key must never be printable)
+impl std::fmt::Debug for MacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MacKey(<redacted, {} parties>)", self.alpha_shares.len())
+    }
 }
 
 impl MacKey {
@@ -60,12 +67,19 @@ impl MacKey {
 
 /// An authenticated additively shared value: `Σ value[p] = x` and
 /// `Σ mac[p] = α·x` (mod 2⁶⁴).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct AuthShare {
     /// Per-party value shares.
     pub value: Vec<u64>,
     /// Per-party MAC (tag) shares.
     pub mac: Vec<u64>,
+}
+
+// lint: debug-ok(redacted: prints party count only, never value or tag shares)
+impl std::fmt::Debug for AuthShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AuthShare(<redacted, {} parties>)", self.value.len())
+    }
 }
 
 impl AuthShare {
@@ -251,8 +265,7 @@ mod tests {
         let (mut mesh, key, mut rng) = setup(3);
         for x in [0u64, 1, 123_456, u64::MAX] {
             let share = AuthShare::share(&key, x, &mut rng);
-            let opened =
-                authenticated_open(&mut mesh, &key, &share, &[0, 0, 0], &mut rng).unwrap();
+            let opened = authenticated_open(&mut mesh, &key, &share, &[0, 0, 0], &mut rng).unwrap();
             assert_eq!(opened, x);
         }
     }
@@ -265,7 +278,11 @@ mod tests {
             let mut tamper = [0u64; 4];
             tamper[cheater] = 1; // minimal additive error
             let result = authenticated_open(&mut mesh, &key, &share, &tamper, &mut rng);
-            assert_eq!(result, Err(MacError::CheckFailed), "cheater {cheater} escaped");
+            assert_eq!(
+                result,
+                Err(MacError::CheckFailed),
+                "cheater {cheater} escaped"
+            );
         }
     }
 
@@ -273,8 +290,7 @@ mod tests {
     fn large_tampering_is_caught_too() {
         let (mut mesh, key, mut rng) = setup(2);
         let share = AuthShare::share(&key, 5, &mut rng);
-        let result =
-            authenticated_open(&mut mesh, &key, &share, &[0xDEAD_BEEF, 0], &mut rng);
+        let result = authenticated_open(&mut mesh, &key, &share, &[0xDEAD_BEEF, 0], &mut rng);
         assert_eq!(result, Err(MacError::CheckFailed));
     }
 
@@ -285,8 +301,7 @@ mod tests {
         let y = AuthShare::share(&key, 42, &mut rng);
         let combo = x.add(&y).mul_public(3).add_public(&key, 7).sub(&y);
         // (100 + 42)·3 + 7 − 42 = 391.
-        let opened =
-            authenticated_open(&mut mesh, &key, &combo, &[0, 0, 0], &mut rng).unwrap();
+        let opened = authenticated_open(&mut mesh, &key, &combo, &[0, 0, 0], &mut rng).unwrap();
         assert_eq!(opened, 391);
     }
 

@@ -8,7 +8,9 @@
 //! these counters, and [`NetworkModel`] turns them into modeled wall-clock
 //! time via the paper's own cost formula `R · (L + S/B)` (§VIII-B).
 
-use serde::{Deserialize, Serialize};
+// Protocol hot path: a malformed message must become a typed error,
+// never a panic (see fedroad-lint rule `no-panic-hot-path`).
+#![deny(clippy::unwrap_used)]
 
 /// Index of a party (silo) in the federation, `0..P`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -19,7 +21,7 @@ pub struct PartyId(pub usize);
 /// This enum is the heart of the structural security audit: raw weights or
 /// path costs have no representable message kind, and
 /// [`crate::audit::audit_engine`] checks the transcript against an allow-list.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MsgKind {
     /// A fresh additive share of a party's private input.
     InputShare,
@@ -42,7 +44,7 @@ impl MsgKind {
 }
 
 /// Aggregate traffic statistics of a [`Mesh`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Number of synchronous communication rounds.
     pub rounds: u64,
@@ -129,19 +131,13 @@ impl Mesh {
         let word_len = words[0].len();
         debug_assert!(words.iter().all(|w| w.len() == word_len));
         self.account_broadcast(kind, word_len);
-        (0..self.n)
-            .map(|_p| words.to_vec())
-            .collect()
+        (0..self.n).map(|_p| words.to_vec()).collect()
     }
 
     /// One synchronous round of point-to-point sends: party `p` sends
     /// `msgs[p][q]` to party `q` (entry `msgs[p][p]` stays local and is not
     /// counted as traffic). Returns `received[q][p]` = what `p` sent to `q`.
-    pub fn scatter_words(
-        &mut self,
-        kind: MsgKind,
-        msgs: &[Vec<Vec<u64>>],
-    ) -> Vec<Vec<Vec<u64>>> {
+    pub fn scatter_words(&mut self, kind: MsgKind, msgs: &[Vec<Vec<u64>>]) -> Vec<Vec<Vec<u64>>> {
         assert_eq!(msgs.len(), self.n);
         let word_len = msgs[0][0].len();
         self.account_scatter(kind, word_len);
@@ -172,7 +168,7 @@ impl Mesh {
 
 /// Latency/bandwidth model turning [`NetStats`] into modeled wall-clock
 /// time, the paper's `R · (L + S/B)`.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct NetworkModel {
     /// One-way message latency, seconds.
     pub latency_s: f64,
@@ -217,6 +213,7 @@ impl NetworkModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

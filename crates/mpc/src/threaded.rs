@@ -10,14 +10,19 @@
 //! FIFO channels, and all parties arrive at the same revealed bits. A test
 //! pins the threaded results to the lockstep engine's.
 
+// Protocol hot path: a malformed message must become a typed error,
+// never a panic (see fedroad-lint rule `no-panic-hot-path`).
+#![deny(clippy::unwrap_used)]
+
 use crate::dealer::{additive_shares, Dealer};
+use crate::error::ProtocolError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::thread;
 
 /// Per-party slice of the preprocessing material for one comparison.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 struct PartyMaterial {
     /// Arithmetic share of the edaBit value `r`.
     eda_arith: u64,
@@ -25,6 +30,17 @@ struct PartyMaterial {
     eda_bits: u64,
     /// XOR shares of the 12 packed triples `(a, b, c)`.
     triples: Vec<(u64, u64, u64)>,
+}
+
+// lint: debug-ok(redacted: prints triple count only, never share words)
+impl std::fmt::Debug for PartyMaterial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PartyMaterial(<redacted, {} triples>)",
+            self.triples.len()
+        )
+    }
 }
 
 /// Distributes dealer material: `out[p][i]` is party `p`'s slice for
@@ -56,16 +72,25 @@ struct Links {
 impl Links {
     /// Sends `words` to every peer and gathers all `P` contributions
     /// (own included) into index order — one logical broadcast round.
-    fn exchange(&self, words: Vec<u64>) -> Vec<Vec<u64>> {
-        for s in self.to.iter().flatten() {
-            s.send(words.clone()).expect("peer alive");
+    /// A closed channel means the peer died mid-protocol and surfaces as
+    /// [`ProtocolError::PeerDisconnected`].
+    fn exchange(&self, words: Vec<u64>) -> Result<Vec<Vec<u64>>, ProtocolError> {
+        for (q, s) in self.to.iter().enumerate() {
+            if let Some(s) = s {
+                s.send(words.clone())
+                    .map_err(|_| ProtocolError::PeerDisconnected { party: q })?;
+            }
         }
         (0..self.to.len())
             .map(|q| {
                 if q == self.party {
-                    words.clone()
+                    Ok(words.clone())
                 } else {
-                    self.from[q].as_ref().unwrap().recv().expect("peer alive")
+                    self.from[q]
+                        .as_ref()
+                        .ok_or(ProtocolError::PeerDisconnected { party: q })?
+                        .recv()
+                        .map_err(|_| ProtocolError::PeerDisconnected { party: q })
                 }
             })
             .collect()
@@ -74,7 +99,12 @@ impl Links {
 
 /// Party-local Kogge–Stone comparison: returns this party's share of the
 /// result bit after the masked opening of `m`.
-fn compare_local(links: &Links, party: usize, m: u64, material: &PartyMaterial) -> u64 {
+fn compare_local(
+    links: &Links,
+    party: usize,
+    m: u64,
+    material: &PartyMaterial,
+) -> Result<u64, ProtocolError> {
     // s = ¬r (party 0 flips), g = M ∧ s, p = M ⊕ s with M = m + 1.
     let m_pub = m.wrapping_add(1);
     let s = if party == 0 {
@@ -95,7 +125,7 @@ fn compare_local(links: &Links, party: usize, m: u64, material: &PartyMaterial) 
         let (a2, b2, c2) = material.triples[triple_idx + 1];
         triple_idx += 2;
         let msg = vec![pw ^ a1, g_sh ^ b1, pw ^ a2, p_sh ^ b2];
-        let recv = links.exchange(msg);
+        let recv = links.exchange(msg)?;
         let fold = |k: usize| recv.iter().fold(0u64, |acc, w| acc ^ w[k]);
         let (e1, d1, e2, d2) = (fold(0), fold(1), fold(2), fold(3));
         let mut z1 = c1 ^ (e1 & b1) ^ (d1 & a1);
@@ -107,7 +137,7 @@ fn compare_local(links: &Links, party: usize, m: u64, material: &PartyMaterial) 
         g ^= z1;
         pw = z2;
     }
-    ((p0 ^ (g << 1)) >> 63) & 1
+    Ok(((p0 ^ (g << 1)) >> 63) & 1)
 }
 
 /// The full per-party protocol for a batch of comparisons; returns the
@@ -117,7 +147,7 @@ fn party_main(
     inputs: Vec<(u64, u64)>,
     material: Vec<PartyMaterial>,
     input_seed: u64,
-) -> Vec<bool> {
+) -> Result<Vec<bool>, ProtocolError> {
     let n = links.to.len();
     let party = links.party;
     let mut rng = ChaCha12Rng::seed_from_u64(
@@ -137,8 +167,10 @@ fn party_main(
             msg.push(sa[q]);
             msg.push(sb[q]);
         }
-        let recv = links.exchange(msg);
-        let a_share = recv.iter().fold(0u64, |acc, w| acc.wrapping_add(w[2 * party]));
+        let recv = links.exchange(msg)?;
+        let a_share = recv
+            .iter()
+            .fold(0u64, |acc, w| acc.wrapping_add(w[2 * party]));
         let b_share = recv
             .iter()
             .fold(0u64, |acc, w| acc.wrapping_add(w[2 * party + 1]));
@@ -146,29 +178,43 @@ fn party_main(
 
         // Round 2: masked opening of d + r.
         let mat = &material[i];
-        let recv = links.exchange(vec![d_share.wrapping_add(mat.eda_arith)]);
+        let recv = links.exchange(vec![d_share.wrapping_add(mat.eda_arith)])?;
         let m = recv.iter().fold(0u64, |acc, w| acc.wrapping_add(w[0]));
 
         // Rounds 3–8: sign extraction; round 9: open the bit.
-        let bit_share = compare_local(&links, party, m, mat);
-        let recv = links.exchange(vec![bit_share]);
+        let bit_share = compare_local(&links, party, m, mat)?;
+        let recv = links.exchange(vec![bit_share])?;
         let bit = recv.iter().fold(0u64, |acc, w| acc ^ w[0]);
         results.push(bit == 1);
     }
-    results
+    Ok(results)
 }
 
 /// Runs a batch of Fed-SAC comparisons with one real thread per party.
 ///
 /// `inputs[i] = (a, b)` where `a[p]`/`b[p]` is party `p`'s private partial
-/// cost. Returns the revealed comparison bits; panics if the parties
-/// disagree (they cannot, absent a protocol bug).
+/// cost. Returns the revealed comparison bits;
+/// [`ProtocolError::ResultDivergence`] if the parties disagree (they
+/// cannot, absent a protocol bug) and [`ProtocolError::PartyPanicked`] /
+/// [`ProtocolError::PeerDisconnected`] when a party thread dies.
 pub fn run_comparisons(
     num_parties: usize,
     inputs: &[(Vec<u64>, Vec<u64>)],
     seed: u64,
-) -> Vec<bool> {
-    assert!(num_parties >= 2);
+) -> Result<Vec<bool>, ProtocolError> {
+    if num_parties < 2 {
+        return Err(ProtocolError::TooFewParties { got: num_parties });
+    }
+    if let Some(v) = inputs
+        .iter()
+        .flat_map(|(a, b)| [a, b])
+        .find(|v| v.len() != num_parties)
+    {
+        return Err(ProtocolError::WrongSiloCount {
+            expected: num_parties,
+            got: v.len(),
+        });
+    }
     let material = deal(num_parties, inputs.len(), seed);
 
     // Full-mesh channels.
@@ -188,11 +234,7 @@ pub fn run_comparisons(
     }
 
     let mut handles = Vec::new();
-    for (p, (outgoing, incoming)) in senders
-        .into_iter()
-        .zip(receivers)
-        .enumerate()
-    {
+    for (p, (outgoing, incoming)) in senders.into_iter().zip(receivers).enumerate() {
         let links = Links {
             party: p,
             to: outgoing,
@@ -205,18 +247,22 @@ pub fn run_comparisons(
         }));
     }
 
-    let mut all: Vec<Vec<bool>> = handles
-        .into_iter()
-        .map(|h| h.join().expect("party thread panicked"))
-        .collect();
-    let reference = all.pop().expect("at least two parties");
-    for other in &all {
-        assert_eq!(other, &reference, "parties disagreed on revealed bits");
+    let mut all: Vec<Vec<bool>> = Vec::with_capacity(num_parties);
+    for (party, h) in handles.into_iter().enumerate() {
+        let bits = h
+            .join()
+            .map_err(|_| ProtocolError::PartyPanicked { party })??;
+        all.push(bits);
     }
-    reference
+    let reference = all.pop().ok_or(ProtocolError::TooFewParties { got: 0 })?;
+    if all.iter().any(|other| other != &reference) {
+        return Err(ProtocolError::ResultDivergence);
+    }
+    Ok(reference)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::fedsac::{SacBackend, SacEngine};
@@ -238,7 +284,7 @@ mod tests {
     fn threaded_matches_plain_comparison() {
         for n in [2usize, 3, 5] {
             let inputs = random_inputs(n, 50, 7);
-            let bits = run_comparisons(n, &inputs, 99);
+            let bits = run_comparisons(n, &inputs, 99).unwrap();
             for ((a, b), bit) in inputs.iter().zip(&bits) {
                 assert_eq!(*bit, a.iter().sum::<u64>() < b.iter().sum::<u64>());
             }
@@ -249,21 +295,41 @@ mod tests {
     fn threaded_matches_lockstep_engine() {
         let n = 3;
         let inputs = random_inputs(n, 80, 13);
-        let threaded = run_comparisons(n, &inputs, 21);
+        let threaded = run_comparisons(n, &inputs, 21).unwrap();
         let mut engine = SacEngine::new(n, SacBackend::Real, 5);
         for ((a, b), bit) in inputs.iter().zip(&threaded) {
-            assert_eq!(engine.less_than(a, b), *bit);
+            assert_eq!(engine.less_than(a, b).unwrap(), *bit);
         }
     }
 
     #[test]
     fn equal_sums_are_not_less() {
         let inputs = vec![(vec![10u64, 20], vec![15u64, 15])];
-        assert_eq!(run_comparisons(2, &inputs, 1), vec![false]);
+        assert_eq!(run_comparisons(2, &inputs, 1).unwrap(), vec![false]);
     }
 
     #[test]
     fn empty_batch_is_fine() {
-        assert!(run_comparisons(4, &[], 3).is_empty());
+        assert!(run_comparisons(4, &[], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn too_few_parties_is_a_typed_error() {
+        assert_eq!(
+            run_comparisons(1, &[], 3),
+            Err(ProtocolError::TooFewParties { got: 1 })
+        );
+    }
+
+    #[test]
+    fn wrong_silo_count_is_a_typed_error() {
+        let inputs = vec![(vec![1u64, 2, 3], vec![4u64, 5])];
+        assert_eq!(
+            run_comparisons(3, &inputs, 3),
+            Err(ProtocolError::WrongSiloCount {
+                expected: 3,
+                got: 2
+            })
+        );
     }
 }

@@ -44,7 +44,7 @@ proptest! {
         let mut mesh = Mesh::new(n);
         let mut dealer = Dealer::new(n, seed);
         let s = xor_shares(&mut rng, n, secret);
-        let sum = add_public(&mut mesh, &mut dealer, public, &s);
+        let sum = add_public(&mut mesh, &mut dealer, public, &s).unwrap();
         prop_assert_eq!(reconstruct_xor(&sum), public.wrapping_add(secret));
     }
 
@@ -58,7 +58,7 @@ proptest! {
         let b = &b_extra[..n];
         let mut engine = SacEngine::new(n, SacBackend::Real, seed);
         prop_assert_eq!(
-            engine.less_than(&a, b),
+            engine.less_than(&a, b).unwrap(),
             a.iter().sum::<u64>() < b.iter().sum::<u64>()
         );
     }
@@ -75,7 +75,7 @@ proptest! {
         let mut real = SacEngine::new(3, SacBackend::Real, seed);
         let mut modeled = SacEngine::new(3, SacBackend::Modeled, seed);
         for (a, b) in &pairs {
-            prop_assert_eq!(real.less_than(a, b), modeled.less_than(a, b));
+            prop_assert_eq!(real.less_than(a, b).unwrap(), modeled.less_than(a, b).unwrap());
         }
         prop_assert_eq!(real.stats(), modeled.stats());
     }
@@ -139,7 +139,7 @@ fn threaded_runner_agrees_with_plain_comparison_on_many_batches() {
                 )
             })
             .collect();
-        let bits = run_comparisons(n, &inputs, 77);
+        let bits = run_comparisons(n, &inputs, 77).unwrap();
         for ((a, b), bit) in inputs.iter().zip(&bits) {
             assert_eq!(*bit, a.iter().sum::<u64>() < b.iter().sum::<u64>());
         }

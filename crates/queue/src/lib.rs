@@ -16,6 +16,7 @@
 //! The TM-tree is the paper's contribution; the other two are its
 //! evaluation baselines (Figure 12).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod comparator;

@@ -139,13 +139,7 @@ impl<T> TmTree<T> {
     }
 
     /// One tallied comparison between two leaves; returns the winner.
-    fn duel(
-        &mut self,
-        a: usize,
-        b: usize,
-        phase: Phase,
-        cmp: &mut dyn Comparator<T>,
-    ) -> usize {
+    fn duel(&mut self, a: usize, b: usize, phase: Phase, cmp: &mut dyn Comparator<T>) -> usize {
         self.counts.record(phase);
         if cmp.less(self.item(a), self.item(b)) {
             a
@@ -155,13 +149,7 @@ impl<T> TmTree<T> {
     }
 
     /// Combines two roots under a fresh internal node (1 comparison).
-    fn combine(
-        &mut self,
-        a: usize,
-        b: usize,
-        phase: Phase,
-        cmp: &mut dyn Comparator<T>,
-    ) -> usize {
+    fn combine(&mut self, a: usize, b: usize, phase: Phase, cmp: &mut dyn Comparator<T>) -> usize {
         let w = self.duel(self.winner_of(a), self.winner_of(b), phase, cmp);
         let id = self.alloc(Node::Internal {
             left: a,
@@ -293,11 +281,7 @@ impl<T> TmTree<T> {
 
     /// Removes the champion leaf from its sub-tree; returns the popped item
     /// and the surviving root (if any). `Pop` comparisons along the path.
-    fn pop_leaf(
-        &mut self,
-        leaf: usize,
-        cmp: &mut dyn Comparator<T>,
-    ) -> (T, Option<usize>) {
+    fn pop_leaf(&mut self, leaf: usize, cmp: &mut dyn Comparator<T>) -> (T, Option<usize>) {
         let parent = self.parent_of(leaf);
         let Node::Leaf { item, .. } = self.dealloc(leaf) else {
             unreachable!("chain points at leaves")
@@ -306,7 +290,13 @@ impl<T> TmTree<T> {
             return (item, None);
         };
         // Splice the sibling into the parent's place.
-        let Node::Internal { left, right, parent: gp, .. } = self.dealloc(p) else {
+        let Node::Internal {
+            left,
+            right,
+            parent: gp,
+            ..
+        } = self.dealloc(p)
+        else {
             unreachable!("leaf parents are internal")
         };
         let sibling = if left == leaf { right } else { left };

@@ -10,8 +10,8 @@
 //! Run with: `cargo run --release --example city_routing`
 
 use fedroad::{
-    grid_city, CongestionLevel, Federation, FederationConfig, GridCityParams, JointOracle,
-    Method, NetworkModel, QueryEngine, SacBackend, VertexId,
+    grid_city, CongestionLevel, Federation, FederationConfig, GridCityParams, JointOracle, Method,
+    NetworkModel, QueryEngine, SacBackend, VertexId,
 };
 use fedroad_graph::algo::spsp;
 use fedroad_graph::traffic::{joint_weights, ObservationModel};

@@ -113,7 +113,15 @@ fn main() {
             let mut cmp = SacComparator::new(engine);
             let view = FedChView::new(&restored, &graph);
             let mut zero = ZeroFedPotential::new(num_silos);
-            fed_spsp(&view, num_silos, s, t, &mut zero, QueueKind::TmTree, &mut cmp)
+            fed_spsp(
+                &view,
+                num_silos,
+                s,
+                t,
+                &mut zero,
+                QueueKind::TmTree,
+                &mut cmp,
+            )
         };
         let path = outcome.path.expect("connected");
         assert_eq!(

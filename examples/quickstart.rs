@@ -48,7 +48,12 @@ fn main() {
     let path = result.path.expect("city is strongly connected");
 
     println!("\nroute {from} → {to}: {} hops", path.hops());
-    let v: Vec<String> = path.vertices().iter().take(8).map(|v| v.to_string()).collect();
+    let v: Vec<String> = path
+        .vertices()
+        .iter()
+        .take(8)
+        .map(|v| v.to_string())
+        .collect();
     println!("  starts: {} …", v.join(" → "));
 
     let stats = &result.stats;

@@ -34,8 +34,8 @@ fn main() {
     println!("rider at {rider}: {k} nearest pickup junctions (joint traffic view)");
     let oracle = JointOracle::new(&fed); // evaluation only: reveal costs
     for (rank, (v, path)) in nearest.iter().enumerate() {
-        let cost = oracle.path_cost_scaled(&fed, path).unwrap() as f64
-            / (fed.num_silos() as f64 * 10.0); // deciseconds → seconds
+        let cost =
+            oracle.path_cost_scaled(&fed, path).unwrap() as f64 / (fed.num_silos() as f64 * 10.0); // deciseconds → seconds
         println!(
             "  #{:<2} {:>5}  ~{:>5.1}s away, {} hops",
             rank + 1,
@@ -45,7 +45,10 @@ fn main() {
         );
     }
 
-    println!("\nquery cost: {} Fed-SACs over {} rounds", stats.sac_invocations, stats.rounds);
+    println!(
+        "\nquery cost: {} Fed-SACs over {} rounds",
+        stats.sac_invocations, stats.rounds
+    );
     println!(
         "queue comparisons: build {}, merge {}, pop {} (TM-tree batching keeps pushes ≈ 1 comparison)",
         stats.queue_counts.build, stats.queue_counts.merge, stats.queue_counts.pop

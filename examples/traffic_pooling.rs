@@ -38,7 +38,9 @@ fn main() {
         }
         thresholds
             .iter()
-            .map(|&th| 100.0 * delays.iter().filter(|&&d| d > th).count() as f64 / delays.len() as f64)
+            .map(|&th| {
+                100.0 * delays.iter().filter(|&&d| d > th).count() as f64 / delays.len() as f64
+            })
             .collect()
     };
 

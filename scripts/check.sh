@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local verification gate — what CI runs. Fails fast.
+#
+#   scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> fedroad-lint (secret-hygiene static analysis)"
+cargo run -q -p fedroad-lint
+
+echo "==> cargo test -q"
+cargo test -q
+
+# Concurrency check for the threaded protocol runner. ThreadSanitizer needs a
+# nightly toolchain and rebuilt std, so it is opt-in — uncomment (or run by
+# hand) on a machine with nightly installed:
+#
+#   RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -p fedroad-mpc threaded
+#
+echo "==> all checks passed"

@@ -9,6 +9,9 @@
 //!
 //! Everything is deterministic per `--seed` (default 2025).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use fedroad::{
     gen_silo_weights, grid_city, CongestionLevel, Federation, FederationConfig, GridCityParams,
     JointOracle, Method, NetworkModel, QueryEngine, RoadNetworkPreset, SacBackend, VertexId,
@@ -86,9 +89,7 @@ impl Options {
             match key {
                 "real-mpc" => flags.push(key.to_string()),
                 _ => {
-                    let value = it
-                        .next()
-                        .ok_or_else(|| format!("--{key} needs a value"))?;
+                    let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                     map.insert(key.to_string(), value.clone());
                 }
             }
@@ -143,10 +144,7 @@ impl Options {
     }
 }
 
-fn build_federation(
-    graph: fedroad::Graph,
-    opts: &Options,
-) -> Result<Federation, String> {
+fn build_federation(graph: fedroad::Graph, opts: &Options) -> Result<Federation, String> {
     let silos: usize = opts.get("silos", 3)?;
     if silos < 2 {
         return Err("--silos must be at least 2".into());
@@ -207,10 +205,7 @@ fn cmd_demo(opts: &Options) -> Result<(), String> {
     );
     let n = fed.graph().num_vertices() as u32;
     for q in 0..queries as u32 {
-        let (s, t) = (
-            VertexId((q * 311 + 7) % n),
-            VertexId((q * 733 + n / 2) % n),
-        );
+        let (s, t) = (VertexId((q * 311 + 7) % n), VertexId((q * 733 + n / 2) % n));
         let result = engine.spsp(&mut fed, s, t);
         match result.path {
             Some(p) => println!("\nquery {s} → {t}: {} hops", p.hops()),
@@ -241,9 +236,17 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
     match &result.path {
         Some(p) => {
             println!("route found: {} hops", p.hops());
-            let preview: Vec<String> =
-                p.vertices().iter().take(12).map(|v| v.to_string()).collect();
-            println!("  {} {}", preview.join(" → "), if p.hops() >= 12 { "…" } else { "" });
+            let preview: Vec<String> = p
+                .vertices()
+                .iter()
+                .take(12)
+                .map(|v| v.to_string())
+                .collect();
+            println!(
+                "  {} {}",
+                preview.join(" → "),
+                if p.hops() >= 12 { "…" } else { "" }
+            );
         }
         None => println!("unreachable"),
     }
@@ -303,7 +306,12 @@ fn cmd_knn(opts: &Options) -> Result<(), String> {
         preset.name()
     );
     for (rank, (v, path)) in results.iter().enumerate() {
-        println!("  #{:<3} {:>8}  ({} hops)", rank + 1, v.to_string(), path.hops());
+        println!(
+            "  #{:<3} {:>8}  ({} hops)",
+            rank + 1,
+            v.to_string(),
+            path.hops()
+        );
     }
     print_query_stats(&stats);
     Ok(())

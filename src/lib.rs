@@ -33,6 +33,9 @@
 //! `fedroad-bench` crate for the harness regenerating every table and
 //! figure of the paper's evaluation.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use fedroad_core as core;
 pub use fedroad_graph as graph;
 pub use fedroad_mpc as mpc;
@@ -45,7 +48,9 @@ pub use fedroad_core::{
     SecurityReport, SiloWeights,
 };
 pub use fedroad_graph::gen::{grid_city, GridCityParams, RoadNetworkPreset};
-pub use fedroad_graph::traffic::{gen_silo_weights, joint_weights, CongestionLevel, ObservationModel};
+pub use fedroad_graph::traffic::{
+    gen_silo_weights, joint_weights, CongestionLevel, ObservationModel,
+};
 pub use fedroad_graph::{Coord, Direction, Graph, GraphBuilder, Path, VertexId, Weight};
 pub use fedroad_mpc::{NetworkModel, SacBackend, SacEngine, SacStats};
 pub use fedroad_queue::{

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-0cf4771c8e3a6df0.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-0cf4771c8e3a6df0: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-8ff4957c0eaa0267.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-8ff4957c0eaa0267: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

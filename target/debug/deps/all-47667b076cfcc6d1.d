@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-47667b076cfcc6d1.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-47667b076cfcc6d1: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-c10fd8f7048ae5b0.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-c10fd8f7048ae5b0: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

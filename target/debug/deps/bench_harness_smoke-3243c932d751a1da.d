@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_harness_smoke-3243c932d751a1da.d: tests/bench_harness_smoke.rs
+
+/root/repo/target/debug/deps/bench_harness_smoke-3243c932d751a1da: tests/bench_harness_smoke.rs
+
+tests/bench_harness_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_harness_smoke-b2d107bed46386c0.d: tests/bench_harness_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_harness_smoke-b2d107bed46386c0.rmeta: tests/bench_harness_smoke.rs Cargo.toml
+
+tests/bench_harness_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/federated_equals_ideal-52e2b7cad77576e2.d: tests/federated_equals_ideal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfederated_equals_ideal-52e2b7cad77576e2.rmeta: tests/federated_equals_ideal.rs Cargo.toml
+
+tests/federated_equals_ideal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/federated_equals_ideal-e8bb3964d8a53aab.d: tests/federated_equals_ideal.rs
+
+/root/repo/target/debug/deps/federated_equals_ideal-e8bb3964d8a53aab: tests/federated_equals_ideal.rs
+
+tests/federated_equals_ideal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedroad-1fd8cdef3d6ca541.d: src/bin/fedroad.rs
+
+/root/repo/target/debug/deps/fedroad-1fd8cdef3d6ca541: src/bin/fedroad.rs
+
+src/bin/fedroad.rs:

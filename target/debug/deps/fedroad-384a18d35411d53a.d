@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fedroad-384a18d35411d53a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfedroad-384a18d35411d53a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfedroad-384a18d35411d53a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedroad-5c522f6d8de279ea.d: src/lib.rs
+
+/root/repo/target/debug/deps/fedroad-5c522f6d8de279ea: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedroad-af9a9e867cc0d102.d: src/bin/fedroad.rs
+
+/root/repo/target/debug/deps/fedroad-af9a9e867cc0d102: src/bin/fedroad.rs
+
+src/bin/fedroad.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedroad-b278c836b4929155.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedroad-b278c836b4929155.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedroad-faac29e651f95c85.d: src/bin/fedroad.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedroad-faac29e651f95c85.rmeta: src/bin/fedroad.rs Cargo.toml
+
+src/bin/fedroad.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/fedroad_bench-6de4f8f176a5cdfc.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig1.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig7_8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/report.rs crates/bench/src/setup.rs crates/bench/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedroad_bench-6de4f8f176a5cdfc.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig1.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig7_8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/report.rs crates/bench/src/setup.rs crates/bench/src/workload.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/fig1.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig12.rs:
+crates/bench/src/experiments/fig7_8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/report.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

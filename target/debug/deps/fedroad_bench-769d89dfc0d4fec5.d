@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fedroad_bench-769d89dfc0d4fec5.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig1.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig7_8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/report.rs crates/bench/src/setup.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/fedroad_bench-769d89dfc0d4fec5: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig1.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig7_8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/report.rs crates/bench/src/setup.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/fig1.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig12.rs:
+crates/bench/src/experiments/fig7_8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/report.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/workload.rs:

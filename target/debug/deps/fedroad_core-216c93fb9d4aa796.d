@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fedroad_core-216c93fb9d4aa796.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/fedch.rs crates/core/src/federation.rs crates/core/src/jsonio.rs crates/core/src/lb.rs crates/core/src/oracle.rs crates/core/src/partials.rs crates/core/src/security.rs crates/core/src/spsp.rs crates/core/src/sssp.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/libfedroad_core-216c93fb9d4aa796.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/fedch.rs crates/core/src/federation.rs crates/core/src/jsonio.rs crates/core/src/lb.rs crates/core/src/oracle.rs crates/core/src/partials.rs crates/core/src/security.rs crates/core/src/spsp.rs crates/core/src/sssp.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/libfedroad_core-216c93fb9d4aa796.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/fedch.rs crates/core/src/federation.rs crates/core/src/jsonio.rs crates/core/src/lb.rs crates/core/src/oracle.rs crates/core/src/partials.rs crates/core/src/security.rs crates/core/src/spsp.rs crates/core/src/sssp.rs crates/core/src/view.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/fedch.rs:
+crates/core/src/federation.rs:
+crates/core/src/jsonio.rs:
+crates/core/src/lb.rs:
+crates/core/src/oracle.rs:
+crates/core/src/partials.rs:
+crates/core/src/security.rs:
+crates/core/src/spsp.rs:
+crates/core/src/sssp.rs:
+crates/core/src/view.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fedroad_core-4dbb824fa6937348.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/fedch.rs crates/core/src/federation.rs crates/core/src/jsonio.rs crates/core/src/lb.rs crates/core/src/oracle.rs crates/core/src/partials.rs crates/core/src/security.rs crates/core/src/spsp.rs crates/core/src/sssp.rs crates/core/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedroad_core-4dbb824fa6937348.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/fedch.rs crates/core/src/federation.rs crates/core/src/jsonio.rs crates/core/src/lb.rs crates/core/src/oracle.rs crates/core/src/partials.rs crates/core/src/security.rs crates/core/src/spsp.rs crates/core/src/sssp.rs crates/core/src/view.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/fedch.rs:
+crates/core/src/federation.rs:
+crates/core/src/jsonio.rs:
+crates/core/src/lb.rs:
+crates/core/src/oracle.rs:
+crates/core/src/partials.rs:
+crates/core/src/security.rs:
+crates/core/src/spsp.rs:
+crates/core/src/sssp.rs:
+crates/core/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

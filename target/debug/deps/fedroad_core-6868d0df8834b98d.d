@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fedroad_core-6868d0df8834b98d.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/fedch.rs crates/core/src/federation.rs crates/core/src/jsonio.rs crates/core/src/lb.rs crates/core/src/oracle.rs crates/core/src/partials.rs crates/core/src/security.rs crates/core/src/spsp.rs crates/core/src/sssp.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/fedroad_core-6868d0df8834b98d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/fedch.rs crates/core/src/federation.rs crates/core/src/jsonio.rs crates/core/src/lb.rs crates/core/src/oracle.rs crates/core/src/partials.rs crates/core/src/security.rs crates/core/src/spsp.rs crates/core/src/sssp.rs crates/core/src/view.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/fedch.rs:
+crates/core/src/federation.rs:
+crates/core/src/jsonio.rs:
+crates/core/src/lb.rs:
+crates/core/src/oracle.rs:
+crates/core/src/partials.rs:
+crates/core/src/security.rs:
+crates/core/src/spsp.rs:
+crates/core/src/sssp.rs:
+crates/core/src/view.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fedroad_graph-61a99fc8bceb78a6.d: crates/graph/src/lib.rs crates/graph/src/algo/mod.rs crates/graph/src/algo/astar.rs crates/graph/src/algo/bidirectional.rs crates/graph/src/algo/dijkstra.rs crates/graph/src/alt.rs crates/graph/src/ch.rs crates/graph/src/dimacs.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/landmarks.rs crates/graph/src/path.rs crates/graph/src/traffic.rs
+
+/root/repo/target/debug/deps/fedroad_graph-61a99fc8bceb78a6: crates/graph/src/lib.rs crates/graph/src/algo/mod.rs crates/graph/src/algo/astar.rs crates/graph/src/algo/bidirectional.rs crates/graph/src/algo/dijkstra.rs crates/graph/src/alt.rs crates/graph/src/ch.rs crates/graph/src/dimacs.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/landmarks.rs crates/graph/src/path.rs crates/graph/src/traffic.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/algo/mod.rs:
+crates/graph/src/algo/astar.rs:
+crates/graph/src/algo/bidirectional.rs:
+crates/graph/src/algo/dijkstra.rs:
+crates/graph/src/alt.rs:
+crates/graph/src/ch.rs:
+crates/graph/src/dimacs.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/ids.rs:
+crates/graph/src/landmarks.rs:
+crates/graph/src/path.rs:
+crates/graph/src/traffic.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fedroad_graph-91dc02e2a87220bb.d: crates/graph/src/lib.rs crates/graph/src/algo/mod.rs crates/graph/src/algo/astar.rs crates/graph/src/algo/bidirectional.rs crates/graph/src/algo/dijkstra.rs crates/graph/src/alt.rs crates/graph/src/ch.rs crates/graph/src/dimacs.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/landmarks.rs crates/graph/src/path.rs crates/graph/src/traffic.rs
+
+/root/repo/target/debug/deps/libfedroad_graph-91dc02e2a87220bb.rlib: crates/graph/src/lib.rs crates/graph/src/algo/mod.rs crates/graph/src/algo/astar.rs crates/graph/src/algo/bidirectional.rs crates/graph/src/algo/dijkstra.rs crates/graph/src/alt.rs crates/graph/src/ch.rs crates/graph/src/dimacs.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/landmarks.rs crates/graph/src/path.rs crates/graph/src/traffic.rs
+
+/root/repo/target/debug/deps/libfedroad_graph-91dc02e2a87220bb.rmeta: crates/graph/src/lib.rs crates/graph/src/algo/mod.rs crates/graph/src/algo/astar.rs crates/graph/src/algo/bidirectional.rs crates/graph/src/algo/dijkstra.rs crates/graph/src/alt.rs crates/graph/src/ch.rs crates/graph/src/dimacs.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/landmarks.rs crates/graph/src/path.rs crates/graph/src/traffic.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/algo/mod.rs:
+crates/graph/src/algo/astar.rs:
+crates/graph/src/algo/bidirectional.rs:
+crates/graph/src/algo/dijkstra.rs:
+crates/graph/src/alt.rs:
+crates/graph/src/ch.rs:
+crates/graph/src/dimacs.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/ids.rs:
+crates/graph/src/landmarks.rs:
+crates/graph/src/path.rs:
+crates/graph/src/traffic.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/fedroad_graph-c0463682b365c149.d: crates/graph/src/lib.rs crates/graph/src/algo/mod.rs crates/graph/src/algo/astar.rs crates/graph/src/algo/bidirectional.rs crates/graph/src/algo/dijkstra.rs crates/graph/src/alt.rs crates/graph/src/ch.rs crates/graph/src/dimacs.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/landmarks.rs crates/graph/src/path.rs crates/graph/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedroad_graph-c0463682b365c149.rmeta: crates/graph/src/lib.rs crates/graph/src/algo/mod.rs crates/graph/src/algo/astar.rs crates/graph/src/algo/bidirectional.rs crates/graph/src/algo/dijkstra.rs crates/graph/src/alt.rs crates/graph/src/ch.rs crates/graph/src/dimacs.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/landmarks.rs crates/graph/src/path.rs crates/graph/src/traffic.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/algo/mod.rs:
+crates/graph/src/algo/astar.rs:
+crates/graph/src/algo/bidirectional.rs:
+crates/graph/src/algo/dijkstra.rs:
+crates/graph/src/alt.rs:
+crates/graph/src/ch.rs:
+crates/graph/src/dimacs.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/ids.rs:
+crates/graph/src/landmarks.rs:
+crates/graph/src/path.rs:
+crates/graph/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

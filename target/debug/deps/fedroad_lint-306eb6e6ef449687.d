@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fedroad_lint-306eb6e6ef449687.d: crates/lint/src/lib.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs
+
+/root/repo/target/debug/deps/fedroad_lint-306eb6e6ef449687: crates/lint/src/lib.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedroad_lint-63cc17754143bea9.d: crates/lint/src/lib.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs
+
+/root/repo/target/debug/deps/libfedroad_lint-63cc17754143bea9.rlib: crates/lint/src/lib.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs
+
+/root/repo/target/debug/deps/libfedroad_lint-63cc17754143bea9.rmeta: crates/lint/src/lib.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules.rs:

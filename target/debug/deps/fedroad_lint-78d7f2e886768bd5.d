@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fedroad_lint-78d7f2e886768bd5.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/fedroad_lint-78d7f2e886768bd5: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fedroad_lint-8687e058adb6f3f5.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/fedroad_lint-8687e058adb6f3f5: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fedroad_mpc-3531712c623c6dd3.d: crates/mpc/src/lib.rs crates/mpc/src/audit.rs crates/mpc/src/binary.rs crates/mpc/src/compare.rs crates/mpc/src/dealer.rs crates/mpc/src/error.rs crates/mpc/src/fedsac.rs crates/mpc/src/mac.rs crates/mpc/src/net.rs crates/mpc/src/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedroad_mpc-3531712c623c6dd3.rmeta: crates/mpc/src/lib.rs crates/mpc/src/audit.rs crates/mpc/src/binary.rs crates/mpc/src/compare.rs crates/mpc/src/dealer.rs crates/mpc/src/error.rs crates/mpc/src/fedsac.rs crates/mpc/src/mac.rs crates/mpc/src/net.rs crates/mpc/src/threaded.rs Cargo.toml
+
+crates/mpc/src/lib.rs:
+crates/mpc/src/audit.rs:
+crates/mpc/src/binary.rs:
+crates/mpc/src/compare.rs:
+crates/mpc/src/dealer.rs:
+crates/mpc/src/error.rs:
+crates/mpc/src/fedsac.rs:
+crates/mpc/src/mac.rs:
+crates/mpc/src/net.rs:
+crates/mpc/src/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fedroad_mpc-92f92e79926a8d92.d: crates/mpc/src/lib.rs crates/mpc/src/audit.rs crates/mpc/src/binary.rs crates/mpc/src/compare.rs crates/mpc/src/dealer.rs crates/mpc/src/error.rs crates/mpc/src/fedsac.rs crates/mpc/src/mac.rs crates/mpc/src/net.rs crates/mpc/src/threaded.rs
+
+/root/repo/target/debug/deps/libfedroad_mpc-92f92e79926a8d92.rlib: crates/mpc/src/lib.rs crates/mpc/src/audit.rs crates/mpc/src/binary.rs crates/mpc/src/compare.rs crates/mpc/src/dealer.rs crates/mpc/src/error.rs crates/mpc/src/fedsac.rs crates/mpc/src/mac.rs crates/mpc/src/net.rs crates/mpc/src/threaded.rs
+
+/root/repo/target/debug/deps/libfedroad_mpc-92f92e79926a8d92.rmeta: crates/mpc/src/lib.rs crates/mpc/src/audit.rs crates/mpc/src/binary.rs crates/mpc/src/compare.rs crates/mpc/src/dealer.rs crates/mpc/src/error.rs crates/mpc/src/fedsac.rs crates/mpc/src/mac.rs crates/mpc/src/net.rs crates/mpc/src/threaded.rs
+
+crates/mpc/src/lib.rs:
+crates/mpc/src/audit.rs:
+crates/mpc/src/binary.rs:
+crates/mpc/src/compare.rs:
+crates/mpc/src/dealer.rs:
+crates/mpc/src/error.rs:
+crates/mpc/src/fedsac.rs:
+crates/mpc/src/mac.rs:
+crates/mpc/src/net.rs:
+crates/mpc/src/threaded.rs:

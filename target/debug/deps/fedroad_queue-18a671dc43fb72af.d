@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedroad_queue-18a671dc43fb72af.d: crates/queue/src/lib.rs crates/queue/src/comparator.rs crates/queue/src/heap.rs crates/queue/src/leftist.rs crates/queue/src/tmtree.rs
+
+/root/repo/target/debug/deps/libfedroad_queue-18a671dc43fb72af.rlib: crates/queue/src/lib.rs crates/queue/src/comparator.rs crates/queue/src/heap.rs crates/queue/src/leftist.rs crates/queue/src/tmtree.rs
+
+/root/repo/target/debug/deps/libfedroad_queue-18a671dc43fb72af.rmeta: crates/queue/src/lib.rs crates/queue/src/comparator.rs crates/queue/src/heap.rs crates/queue/src/leftist.rs crates/queue/src/tmtree.rs
+
+crates/queue/src/lib.rs:
+crates/queue/src/comparator.rs:
+crates/queue/src/heap.rs:
+crates/queue/src/leftist.rs:
+crates/queue/src/tmtree.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedroad_queue-a486aa30048ff294.d: crates/queue/src/lib.rs crates/queue/src/comparator.rs crates/queue/src/heap.rs crates/queue/src/leftist.rs crates/queue/src/tmtree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedroad_queue-a486aa30048ff294.rmeta: crates/queue/src/lib.rs crates/queue/src/comparator.rs crates/queue/src/heap.rs crates/queue/src/leftist.rs crates/queue/src/tmtree.rs Cargo.toml
+
+crates/queue/src/lib.rs:
+crates/queue/src/comparator.rs:
+crates/queue/src/heap.rs:
+crates/queue/src/leftist.rs:
+crates/queue/src/tmtree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

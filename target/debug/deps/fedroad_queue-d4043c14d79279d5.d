@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedroad_queue-d4043c14d79279d5.d: crates/queue/src/lib.rs crates/queue/src/comparator.rs crates/queue/src/heap.rs crates/queue/src/leftist.rs crates/queue/src/tmtree.rs
+
+/root/repo/target/debug/deps/fedroad_queue-d4043c14d79279d5: crates/queue/src/lib.rs crates/queue/src/comparator.rs crates/queue/src/heap.rs crates/queue/src/leftist.rs crates/queue/src/tmtree.rs
+
+crates/queue/src/lib.rs:
+crates/queue/src/comparator.rs:
+crates/queue/src/heap.rs:
+crates/queue/src/leftist.rs:
+crates/queue/src/tmtree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-758c70d373dc1558.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-758c70d373dc1558: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

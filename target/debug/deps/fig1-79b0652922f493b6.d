@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-79b0652922f493b6.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-79b0652922f493b6: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

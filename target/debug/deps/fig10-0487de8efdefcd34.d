@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-0487de8efdefcd34.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-0487de8efdefcd34: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

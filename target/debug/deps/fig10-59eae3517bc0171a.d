@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-59eae3517bc0171a.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-59eae3517bc0171a: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-a833915be55a9268.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-a833915be55a9268: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-b0dd6ad3cf030420.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-b0dd6ad3cf030420: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

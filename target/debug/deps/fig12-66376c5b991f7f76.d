@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-66376c5b991f7f76.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-66376c5b991f7f76: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

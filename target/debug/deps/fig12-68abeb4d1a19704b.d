@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-68abeb4d1a19704b.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-68abeb4d1a19704b: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_8-5aa3c230c1e37a4b.d: crates/bench/src/bin/fig7_8.rs
+
+/root/repo/target/debug/deps/fig7_8-5aa3c230c1e37a4b: crates/bench/src/bin/fig7_8.rs
+
+crates/bench/src/bin/fig7_8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_8-f01d4687f065099d.d: crates/bench/src/bin/fig7_8.rs
+
+/root/repo/target/debug/deps/fig7_8-f01d4687f065099d: crates/bench/src/bin/fig7_8.rs
+
+crates/bench/src/bin/fig7_8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-99afc8ed14002bc0.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-99afc8ed14002bc0: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-f50b8a5c25042128.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-f50b8a5c25042128: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

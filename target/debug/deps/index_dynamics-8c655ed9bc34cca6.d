@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/index_dynamics-8c655ed9bc34cca6.d: tests/index_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindex_dynamics-8c655ed9bc34cca6.rmeta: tests/index_dynamics.rs Cargo.toml
+
+tests/index_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_dynamics-9b8bfd7061b164ff.d: tests/index_dynamics.rs
+
+/root/repo/target/debug/deps/index_dynamics-9b8bfd7061b164ff: tests/index_dynamics.rs
+
+tests/index_dynamics.rs:

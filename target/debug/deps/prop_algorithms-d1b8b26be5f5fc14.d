@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_algorithms-d1b8b26be5f5fc14.d: crates/graph/tests/prop_algorithms.rs
+
+/root/repo/target/debug/deps/prop_algorithms-d1b8b26be5f5fc14: crates/graph/tests/prop_algorithms.rs
+
+crates/graph/tests/prop_algorithms.rs:

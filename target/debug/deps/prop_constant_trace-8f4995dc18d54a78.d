@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_constant_trace-8f4995dc18d54a78.d: crates/mpc/tests/prop_constant_trace.rs
+
+/root/repo/target/debug/deps/prop_constant_trace-8f4995dc18d54a78: crates/mpc/tests/prop_constant_trace.rs
+
+crates/mpc/tests/prop_constant_trace.rs:

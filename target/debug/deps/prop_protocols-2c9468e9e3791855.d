@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_protocols-2c9468e9e3791855.d: crates/mpc/tests/prop_protocols.rs
+
+/root/repo/target/debug/deps/prop_protocols-2c9468e9e3791855: crates/mpc/tests/prop_protocols.rs
+
+crates/mpc/tests/prop_protocols.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_queues-37c0ed37a9401e1f.d: crates/queue/tests/prop_queues.rs
+
+/root/repo/target/debug/deps/prop_queues-37c0ed37a9401e1f: crates/queue/tests/prop_queues.rs
+
+crates/queue/tests/prop_queues.rs:

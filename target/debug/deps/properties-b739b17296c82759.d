@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b739b17296c82759.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b739b17296c82759: tests/properties.rs
+
+tests/properties.rs:

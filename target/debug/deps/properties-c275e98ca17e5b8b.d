@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c275e98ca17e5b8b.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c275e98ca17e5b8b.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

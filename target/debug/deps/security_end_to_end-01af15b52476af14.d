@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security_end_to_end-01af15b52476af14.d: tests/security_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity_end_to_end-01af15b52476af14.rmeta: tests/security_end_to_end.rs Cargo.toml
+
+tests/security_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_end_to_end-e6457d796d4654fe.d: tests/security_end_to_end.rs
+
+/root/repo/target/debug/deps/security_end_to_end-e6457d796d4654fe: tests/security_end_to_end.rs
+
+tests/security_end_to_end.rs:

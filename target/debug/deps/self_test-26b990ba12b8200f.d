@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/self_test-26b990ba12b8200f.d: crates/lint/tests/self_test.rs
+
+/root/repo/target/debug/deps/self_test-26b990ba12b8200f: crates/lint/tests/self_test.rs
+
+crates/lint/tests/self_test.rs:
+
+# env-dep:CARGO_BIN_EXE_fedroad-lint=/root/repo/target/debug/fedroad-lint
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

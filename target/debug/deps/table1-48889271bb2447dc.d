@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-48889271bb2447dc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-48889271bb2447dc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

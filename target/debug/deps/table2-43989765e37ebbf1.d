@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-43989765e37ebbf1.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-43989765e37ebbf1: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-c484cb4a1764e56a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-c484cb4a1764e56a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/city_routing-1d0b61731333bc16.d: examples/city_routing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcity_routing-1d0b61731333bc16.rmeta: examples/city_routing.rs Cargo.toml
+
+examples/city_routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

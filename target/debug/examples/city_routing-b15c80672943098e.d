@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/city_routing-b15c80672943098e.d: examples/city_routing.rs
+
+/root/repo/target/debug/examples/city_routing-b15c80672943098e: examples/city_routing.rs
+
+examples/city_routing.rs:

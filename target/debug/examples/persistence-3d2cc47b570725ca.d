@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/persistence-3d2cc47b570725ca.d: examples/persistence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpersistence-3d2cc47b570725ca.rmeta: examples/persistence.rs Cargo.toml
+
+examples/persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

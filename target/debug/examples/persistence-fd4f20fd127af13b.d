@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/persistence-fd4f20fd127af13b.d: examples/persistence.rs
+
+/root/repo/target/debug/examples/persistence-fd4f20fd127af13b: examples/persistence.rs
+
+examples/persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-55b9e72c84b3c5b2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-55b9e72c84b3c5b2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ride_hailing_knn-00fa818fbe2a41cd.d: examples/ride_hailing_knn.rs
+
+/root/repo/target/debug/examples/ride_hailing_knn-00fa818fbe2a41cd: examples/ride_hailing_knn.rs
+
+examples/ride_hailing_knn.rs:

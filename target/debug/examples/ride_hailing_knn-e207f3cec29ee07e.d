@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ride_hailing_knn-e207f3cec29ee07e.d: examples/ride_hailing_knn.rs Cargo.toml
+
+/root/repo/target/debug/examples/libride_hailing_knn-e207f3cec29ee07e.rmeta: examples/ride_hailing_knn.rs Cargo.toml
+
+examples/ride_hailing_knn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/traffic_pooling-7c912ccb0e142f80.d: examples/traffic_pooling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtraffic_pooling-7c912ccb0e142f80.rmeta: examples/traffic_pooling.rs Cargo.toml
+
+examples/traffic_pooling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

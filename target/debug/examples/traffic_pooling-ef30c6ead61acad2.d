@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_pooling-ef30c6ead61acad2.d: examples/traffic_pooling.rs
+
+/root/repo/target/debug/examples/traffic_pooling-ef30c6ead61acad2: examples/traffic_pooling.rs
+
+examples/traffic_pooling.rs:

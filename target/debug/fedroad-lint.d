@@ -1,0 +1,1 @@
+/root/repo/target/debug/fedroad-lint: /root/repo/crates/lint/src/lexer.rs /root/repo/crates/lint/src/lib.rs /root/repo/crates/lint/src/main.rs /root/repo/crates/lint/src/rules.rs

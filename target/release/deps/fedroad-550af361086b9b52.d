@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fedroad-550af361086b9b52.d: src/lib.rs
+
+/root/repo/target/release/deps/libfedroad-550af361086b9b52.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfedroad-550af361086b9b52.rmeta: src/lib.rs
+
+src/lib.rs:

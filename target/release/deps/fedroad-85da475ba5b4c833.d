@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fedroad-85da475ba5b4c833.d: src/bin/fedroad.rs
+
+/root/repo/target/release/deps/fedroad-85da475ba5b4c833: src/bin/fedroad.rs
+
+src/bin/fedroad.rs:

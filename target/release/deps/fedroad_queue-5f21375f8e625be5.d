@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fedroad_queue-5f21375f8e625be5.d: crates/queue/src/lib.rs crates/queue/src/comparator.rs crates/queue/src/heap.rs crates/queue/src/leftist.rs crates/queue/src/tmtree.rs
+
+/root/repo/target/release/deps/libfedroad_queue-5f21375f8e625be5.rlib: crates/queue/src/lib.rs crates/queue/src/comparator.rs crates/queue/src/heap.rs crates/queue/src/leftist.rs crates/queue/src/tmtree.rs
+
+/root/repo/target/release/deps/libfedroad_queue-5f21375f8e625be5.rmeta: crates/queue/src/lib.rs crates/queue/src/comparator.rs crates/queue/src/heap.rs crates/queue/src/leftist.rs crates/queue/src/tmtree.rs
+
+crates/queue/src/lib.rs:
+crates/queue/src/comparator.rs:
+crates/queue/src/heap.rs:
+crates/queue/src/leftist.rs:
+crates/queue/src/tmtree.rs:

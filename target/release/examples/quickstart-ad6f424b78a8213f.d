@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ad6f424b78a8213f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ad6f424b78a8213f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -38,9 +38,9 @@ fn check_all_methods(fed: &mut Federation, oracle: &JointOracle, pairs: &[(u32, 
             let (s, t) = (VertexId(s), VertexId(t));
             let truth = oracle.spsp_scaled(fed, s, t).expect("connected").0;
             let result = engine.spsp(fed, s, t);
-            let path = result.path.unwrap_or_else(|| {
-                panic!("{} found no path {s}->{t}", method.name())
-            });
+            let path = result
+                .path
+                .unwrap_or_else(|| panic!("{} found no path {s}->{t}", method.name()));
             assert_eq!(path.source(), s);
             assert_eq!(path.target(), t);
             assert_eq!(
@@ -65,7 +65,13 @@ fn all_methods_exact_across_congestion_levels() {
 #[test]
 fn all_methods_exact_across_silo_counts() {
     for silos in [2usize, 3, 5, 8] {
-        let (mut fed, oracle) = make_fed(150, silos, CongestionLevel::Moderate, SacBackend::Modeled, 7);
+        let (mut fed, oracle) = make_fed(
+            150,
+            silos,
+            CongestionLevel::Moderate,
+            SacBackend::Modeled,
+            7,
+        );
         let n = fed.graph().num_vertices() as u32;
         check_all_methods(&mut fed, &oracle, &[(1, n - 2), (n / 3, 2 * n / 3)]);
     }

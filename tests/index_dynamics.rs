@@ -32,9 +32,7 @@ fn repeated_updates_stay_exact_over_many_rounds() {
         // subset of arcs, increasing or decreasing congestion.
         let silo = rng.gen_range(0..3);
         let k = rng.gen_range(1..=m / 20);
-        let changed: Vec<ArcId> = (0..k)
-            .map(|_| ArcId(rng.gen_range(0..m as u32)))
-            .collect();
+        let changed: Vec<ArcId> = (0..k).map(|_| ArcId(rng.gen_range(0..m as u32))).collect();
         let mut w = fed.silo(silo).as_slice().to_vec();
         let base = fed.graph().static_weights().to_vec();
         for a in &changed {
@@ -47,10 +45,7 @@ fn repeated_updates_stay_exact_over_many_rounds() {
         // Fresh oracle for the *current* weights; queries must match it.
         let oracle = JointOracle::new(&fed);
         for _ in 0..4 {
-            let (s, t) = (
-                VertexId(rng.gen_range(0..n)),
-                VertexId(rng.gen_range(0..n)),
-            );
+            let (s, t) = (VertexId(rng.gen_range(0..n)), VertexId(rng.gen_range(0..n)));
             let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
             let result = engine.spsp(&mut fed, s, t);
             assert_eq!(

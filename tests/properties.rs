@@ -3,16 +3,19 @@
 //! generators the unit tests use.
 
 use fedroad::{
-    CongestionLevel, Coord, Federation, FederationConfig, Graph, GraphBuilder, JointOracle,
-    Method, PriorityQueue, QueryEngine, QueueKind, SacBackend, VertexId,
+    CongestionLevel, Coord, Federation, FederationConfig, Graph, GraphBuilder, JointOracle, Method,
+    PriorityQueue, QueryEngine, QueueKind, SacBackend, VertexId,
 };
 use proptest::prelude::*;
 
 /// A random strongly connected multigraph-free graph: a ring backbone
 /// (guaranteeing strong connectivity) plus random chords.
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (6usize..40, proptest::collection::vec((0u32..40, 0u32..40, 1u64..500), 0..60)).prop_map(
-        |(n, chords)| {
+    (
+        6usize..40,
+        proptest::collection::vec((0u32..40, 0u32..40, 1u64..500), 0..60),
+    )
+        .prop_map(|(n, chords)| {
             let mut b = GraphBuilder::new();
             for i in 0..n {
                 b.add_vertex(Coord {
@@ -33,8 +36,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
                 }
             }
             b.build()
-        },
-    )
+        })
 }
 
 /// Random per-silo weight sets: independent positive scalings of the
@@ -140,7 +142,7 @@ proptest! {
         let av = &a[..parties];
         let bv = &b[..parties];
         prop_assert_eq!(
-            engine.less_than(av, bv),
+            engine.less_than(av, bv).unwrap(),
             av.iter().sum::<u64>() < bv.iter().sum::<u64>()
         );
     }

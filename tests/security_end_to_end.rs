@@ -61,8 +61,7 @@ fn only_allowed_message_kinds_ever_cross_the_wire() {
         );
     }
     // And the traffic profile matches the execution count exactly.
-    fedroad_mpc::audit_engine(fed.engine(), fed.engine().batch_count())
-        .expect("traffic audit");
+    fedroad_mpc::audit_engine(fed.engine(), fed.engine().batch_count()).expect("traffic audit");
 }
 
 #[test]
