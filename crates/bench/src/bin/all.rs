@@ -1,5 +1,9 @@
-//! Runs every experiment of the paper's evaluation in order.
+//! Runs every experiment of the paper's evaluation in order, with the
+//! global recorder enabled, and writes a versioned run report
+//! (`results/BENCH_run.json`) on top of the per-experiment records.
 //! `--quick` shrinks sweeps for a fast smoke run.
+
+use fedroad_bench::runreport::RunReport;
 
 /// One experiment entry point.
 type Experiment = fn(bool) -> fedroad_bench::report::Reporter;
@@ -7,6 +11,8 @@ type Experiment = fn(bool) -> fedroad_bench::report::Reporter;
 fn main() {
     let quick = fedroad_bench::quick_mode();
     let t0 = std::time::Instant::now();
+    fedroad_obs::enable();
+    let mut report = RunReport::new(fedroad_bench::BENCH_SEED, quick);
     let runs: Vec<(&str, Experiment)> = vec![
         ("table1", fedroad_bench::experiments::table1::run),
         ("fig1", fedroad_bench::experiments::fig1::run),
@@ -20,9 +26,15 @@ fn main() {
     ];
     for (name, run) in runs {
         let rep = run(quick);
+        report.add_experiment(name, rep.len());
         if let Ok(path) = rep.save(name) {
             println!("[{name}] records written to {}", path.display());
         }
+    }
+    report.set_snapshot(&fedroad_obs::snapshot());
+    match report.save() {
+        Ok(path) => println!("run report written to {}", path.display()),
+        Err(e) => eprintln!("run report failed validation: {e}"),
     }
     println!(
         "\nall experiments done in {:.1}s",

@@ -27,6 +27,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod runreport;
 pub mod setup;
 pub mod workload;
 

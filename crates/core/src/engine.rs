@@ -214,8 +214,9 @@ impl QueryEngine {
         config: EngineConfig,
         shared_index: Option<&FedChIndex>,
     ) -> Self {
-        let before = fed.sac_stats();
+        let before = fed.sac_cumulative_stats();
         let start = Instant::now();
+        let _span = fedroad_obs::span("engine.build");
 
         let fedch = config.use_shortcuts.then(|| match shared_index {
             Some(index) => index.clone(),
@@ -250,8 +251,11 @@ impl QueryEngine {
             None => (None, None),
         };
 
-        let preprocessing =
-            QueryStats::from_delta(&before, &fed.sac_stats(), start.elapsed().as_secs_f64());
+        let preprocessing = QueryStats::from_delta(
+            &before,
+            &fed.sac_cumulative_stats(),
+            start.elapsed().as_secs_f64(),
+        );
         QueryEngine {
             config,
             fedch,
@@ -278,8 +282,11 @@ impl QueryEngine {
 
     /// Answers a single-pair shortest-path query.
     pub fn spsp(&self, fed: &mut Federation, s: VertexId, t: VertexId) -> QueryResult {
-        let before = fed.sac_stats();
+        // Cumulative (not windowed) snapshots: the delta stays correct even
+        // if the caller calls `reset_stats` between queries.
+        let before = fed.sac_cumulative_stats();
         let start = Instant::now();
+        let _span = fedroad_obs::span("query.spsp");
         let outcome = {
             let num_silos = fed.num_silos();
             let graph = fed.graph().clone();
@@ -301,7 +308,7 @@ impl QueryEngine {
             )
         };
         let wall = start.elapsed().as_secs_f64();
-        let mut stats = QueryStats::from_delta(&before, &fed.sac_stats(), wall);
+        let mut stats = QueryStats::from_delta(&before, &fed.sac_cumulative_stats(), wall);
         stats.settled = outcome.settled;
         stats.queue_counts = outcome.queue_counts;
         stats.queue_pushes = outcome.queue_pushes;
@@ -309,6 +316,50 @@ impl QueryEngine {
             path: outcome.path,
             stats,
         }
+    }
+
+    /// Like [`Self::spsp`], but with the global recorder enabled for the
+    /// duration of the query, returning the captured
+    /// [`fedroad_obs::QueryTrace`] alongside the result: the phase
+    /// timeline (shortcut climb, core A*, per-execution Fed-SAC spans,
+    /// TM-tree level instants) plus cost totals that match
+    /// [`QueryStats`] exactly. Only events recorded on the calling thread
+    /// are captured, so concurrent recorder users don't pollute the trace.
+    pub fn spsp_traced(
+        &self,
+        fed: &mut Federation,
+        s: VertexId,
+        t: VertexId,
+    ) -> (QueryResult, fedroad_obs::QueryTrace) {
+        let was_enabled = fedroad_obs::is_enabled();
+        fedroad_obs::enable();
+        let mark = fedroad_obs::mark();
+        let begin_ns = fedroad_obs::now_ns();
+        let before = fed.sac_cumulative_stats();
+        let batches_before = fed.engine().batch_count();
+        let result = self.spsp(fed, s, t);
+        let after = fed.sac_cumulative_stats();
+        let end_ns = fedroad_obs::now_ns();
+        let events = fedroad_obs::thread_events_since(mark);
+        if !was_enabled {
+            fedroad_obs::disable();
+        }
+        let delta = after.delta_since(&before);
+        let trace = fedroad_obs::QueryTrace {
+            label: format!("spsp {}->{}", s.0, t.0),
+            begin_ns,
+            end_ns,
+            events,
+            totals: fedroad_obs::QueryTotals {
+                sac_invocations: delta.invocations,
+                sac_batches: fed.engine().batch_count() - batches_before,
+                rounds: delta.net.rounds,
+                messages: delta.net.messages,
+                bytes: delta.net.bytes,
+                per_party_bytes: delta.net.per_party_bytes,
+            },
+        };
+        (result, trace)
     }
 
     /// Internal SPSP entry point parameterized by comparator — the
@@ -379,8 +430,9 @@ impl QueryEngine {
         source: VertexId,
         k: usize,
     ) -> (Vec<(VertexId, Path)>, QueryStats) {
-        let before = fed.sac_stats();
+        let before = fed.sac_cumulative_stats();
         let start = Instant::now();
+        let _span = fedroad_obs::span("query.knn");
         let num_silos = fed.num_silos();
         let n = fed.graph().num_vertices();
         let result: FedSsspResult = {
@@ -401,7 +453,7 @@ impl QueryEngine {
             )
         };
         let wall = start.elapsed().as_secs_f64();
-        let mut stats = QueryStats::from_delta(&before, &fed.sac_stats(), wall);
+        let mut stats = QueryStats::from_delta(&before, &fed.sac_cumulative_stats(), wall);
         stats.settled = result.settled.len();
         stats.queue_counts = result.queue_counts;
         stats.queue_pushes = result.queue_pushes;

@@ -152,6 +152,13 @@ impl Federation {
         self.engine.stats()
     }
 
+    /// Monotonic engine statistics, unaffected by `reset_stats` windows —
+    /// before/after snapshots around a query always subtract to a valid
+    /// per-query delta.
+    pub fn sac_cumulative_stats(&self) -> SacStats {
+        self.engine.cumulative_stats()
+    }
+
     /// Replaces silo `p`'s weights (real-time traffic refresh). The graph
     /// and other silos are untouched; indices must be updated separately
     /// (see [`crate::fedch`]).

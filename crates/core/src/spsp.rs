@@ -246,6 +246,8 @@ pub fn fed_spsp(
         // lower-bound speedups come from.
         return fed_spsp_guided(view, num_silos, s, t, potential, queue_kind, cmp);
     }
+    // Symmetric search: both directions interleave inside one phase span.
+    let _phase = fedroad_obs::span("phase.bidirectional");
     // One-sided views stop per direction, which requires non-negative
     // joint potentials: clamp landmark potentials at zero.
     let clamp = !coverage && !potential.joint_nonnegative();
@@ -556,6 +558,9 @@ fn fed_spsp_guided(
     let mut settled_total = 0usize;
 
     // ---- Phase 1: backward cone from t --------------------------------
+    // The "shortcut climb": the backward search ascends the contraction
+    // hierarchy until every frontier rests in the core.
+    let climb = fedroad_obs::span("phase.shortcut_climb");
     let mut bwd = Side::new(Direction::Backward, queue_kind);
     bwd.labels.insert(t.0, (vec![0; num_silos], None));
     bwd.queue.push(
@@ -612,8 +617,10 @@ fn fed_spsp_guided(
         }
         bwd.queue.push_batch(push, &mut EntryComparator::new(cmp));
     }
+    drop(climb);
 
     // ---- Phase 2: forward A* with the full potential -------------------
+    let astar = fedroad_obs::span("phase.core_astar");
     let mut fwd = Side::new(Direction::Forward, queue_kind);
     let mut mu: Option<(PartialKey, Meeting)> = None;
     let consider_meeting = |mu: &mut Option<(PartialKey, Meeting)>,
@@ -716,6 +723,7 @@ fn fed_spsp_guided(
         }
         fwd.queue.push_batch(push, &mut EntryComparator::new(cmp));
     }
+    drop(astar);
 
     let mut queue_counts = fwd.queue.counts();
     queue_counts.merge_from(&bwd.queue.counts());

@@ -47,6 +47,11 @@ pub fn sssp_until(
     direction: Direction,
     mut stop: impl FnMut(VertexId, Weight) -> bool,
 ) -> SsspResult {
+    // Coarse instrumentation only (one span + one counter per run): the
+    // relaxation loop itself stays untouched, which is what keeps the
+    // disabled-recorder overhead within the ≤5% budget the obs overhead
+    // test pins.
+    let _span = fedroad_obs::span("graph.dijkstra");
     debug_assert_eq!(weights.len(), g.num_arcs(), "weights indexed by arc id");
     let n = g.num_vertices();
     let mut dist = vec![INFINITY; n];
@@ -81,6 +86,8 @@ pub fn sssp_until(
         }
     }
 
+    fedroad_obs::counter_add("graph.dijkstra.runs", 1);
+    fedroad_obs::counter_add("graph.dijkstra.settled", settled.len() as u64);
     SsspResult {
         dist,
         parent,

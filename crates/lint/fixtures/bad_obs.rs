@@ -1,0 +1,12 @@
+// lint-fixture: crates/mpc/src/fedsac.rs
+//! Known-bad: recorder sinks fed share material (rule
+//! `obs-no-secret-args`). The `ObsValue` enum cannot hold a ring element,
+//! but `as u64` coercion would launder one into a counter or span arg.
+
+pub fn leaky_metrics(rng: &mut Rng) {
+    let share = additive_shares(rng, 2, 7);
+    fedroad_obs::counter_add("fedsac.secret", share[0]);
+    fedroad_obs::span_begin("exec", &[("x", fedroad_obs::ObsValue::Count(share[0]))]);
+    metrics.record_value("mask", xor_shares(rng, 2, 9)[1]);
+    fedroad_obs::instant("open", &[("id", fedroad_obs::ObsValue::Id(share[1]))]);
+}

@@ -20,6 +20,7 @@
 //! | `no-panic-hot-path` | `.unwrap()`/`.expect(`/`panic!` in protocol hot paths without `// lint: panic-ok(...)` |
 //! | `no-secret-branch` | `if`/`match` scrutinees mentioning share-bound identifiers in protocol modules |
 //! | `crate-hygiene` | crate roots missing `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` |
+//! | `obs-no-secret-args` | recorder sinks (`record*`/`span*`/`instant`/`counter_add`/`hist_record`) whose arguments mention share-carrying identifiers in `mpc`/`core` code |
 //!
 //! Fixture files may begin with `// lint-fixture: <repo-relative-path>` to
 //! be linted *as if* they sat at that path — how the self-tests exercise

@@ -1,12 +1,12 @@
-//! The five secret-hygiene rule families, run over the token stream of
+//! The six secret-hygiene rule families, run over the token stream of
 //! one source file.
 //!
-//! Scoping: rules R1/R2 apply to the *secret crates* (`fedroad-mpc`,
+//! Scoping: rules R1/R2/R6 apply to the *secret crates* (`fedroad-mpc`,
 //! `fedroad-core`) whose values include share material; R3/R4 apply to the
 //! *protocol hot paths* — the modules a malformed or malicious message
 //! reaches before any trust boundary; R5 applies to every crate root.
-//! `#[cfg(test)]` regions are exempt from R1/R3/R4 (tests legitimately
-//! print and unwrap), never from R2/R5.
+//! `#[cfg(test)]` regions are exempt from R1/R3/R4/R6 (tests legitimately
+//! print, unwrap, and record synthetic values), never from R2/R5.
 
 use crate::lexer::{lex, Lexed, MarkerKind, Token, TokenKind};
 use std::collections::HashSet;
@@ -127,6 +127,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     if ctx.secret_crate {
         rule_no_debug_print(&ctx, &lexed, &test_mask, &tainted, &mut findings);
         rule_no_debug_on_shares(&ctx, &lexed, &mut findings);
+        rule_obs_no_secret_args(&ctx, &lexed, &test_mask, &tainted, &mut findings);
     }
     if ctx.hot_path {
         rule_no_panic_hot_path(&ctx, &lexed, &test_mask, &mut findings);
@@ -535,6 +536,62 @@ fn rule_no_secret_branch(
                             ),
                         });
                         break;
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// R6 `obs-no-secret-args`: a recorder sink — any `record*`/`span*`
+/// identifier, or `instant`/`counter_add`/`hist_record` — called with an
+/// argument that mentions a share-carrying identifier or a [`SHARE_APIS`]
+/// call. The `ObsValue` payload type already cannot *represent* a ring
+/// element, but `share[0] as u64`-style coercion would still launder one
+/// into a counter; this rule closes that gap at the source level.
+fn rule_obs_no_secret_args(
+    ctx: &FileContext,
+    lexed: &Lexed,
+    test_mask: &[bool],
+    tainted: &HashSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    const EXACT_SINKS: [&str; 3] = ["instant", "counter_add", "hist_record"];
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if test_mask[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_sink = t.text.starts_with("record")
+            || t.text.starts_with("span")
+            || EXACT_SINKS.contains(&t.text.as_str());
+        if !is_sink || !matches!(tokens.get(i + 1), Some(n) if n.text == "(") {
+            continue;
+        }
+        // Argument list: scan to the matching close paren.
+        let mut depth = 1i32;
+        let mut j = i + 2;
+        while j < tokens.len() && depth > 0 {
+            let a = &tokens[j];
+            match a.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {
+                    if a.kind == TokenKind::Ident
+                        && (tainted.contains(&a.text) || SHARE_APIS.contains(&a.text.as_str()))
+                    {
+                        out.push(Finding {
+                            rule: "obs-no-secret-args",
+                            file: ctx.rel_path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "recorder sink `{}` receives share-carrying `{}`; \
+                                 only public accounting quantities may be recorded",
+                                t.text, a.text
+                            ),
+                        });
+                        break; // one finding per call
                     }
                 }
             }

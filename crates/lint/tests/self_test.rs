@@ -79,6 +79,17 @@ fn bad_headers_trips_crate_hygiene() {
 }
 
 #[test]
+fn bad_obs_trips_obs_no_secret_args() {
+    let findings = fixture("bad_obs.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "obs-no-secret-args").count(),
+        4,
+        "counter_add, span_begin, record_value, instant: {findings:?}"
+    );
+}
+
+#[test]
 fn good_fixture_is_clean() {
     let findings = fixture("good_clean.rs");
     assert!(findings.is_empty(), "unexpected findings: {findings:?}");
@@ -119,6 +130,7 @@ fn binary_exit_codes_match() {
         "bad_unwrap.rs",
         "bad_branch.rs",
         "bad_headers.rs",
+        "bad_obs.rs",
     ] {
         let out = Command::new(bin)
             .current_dir(&root)

@@ -62,6 +62,28 @@ impl SacStats {
         self.dealer.triple_words += other.dealer.triple_words;
         self.dealer.bytes += other.dealer.bytes;
     }
+
+    /// The component-wise difference `self − baseline`. Both snapshots
+    /// must come from the same monotonic source (e.g. two reads of
+    /// [`SacEngine::cumulative_stats`]), which makes underflow impossible
+    /// by construction — the invariant per-query delta reporting relies
+    /// on.
+    pub fn delta_since(&self, baseline: &SacStats) -> SacStats {
+        SacStats {
+            invocations: self.invocations - baseline.invocations,
+            net: NetStats {
+                rounds: self.net.rounds - baseline.net.rounds,
+                messages: self.net.messages - baseline.net.messages,
+                bytes: self.net.bytes - baseline.net.bytes,
+                per_party_bytes: self.net.per_party_bytes - baseline.net.per_party_bytes,
+            },
+            dealer: DealerStats {
+                edabits: self.dealer.edabits - baseline.dealer.edabits,
+                triple_words: self.dealer.triple_words - baseline.dealer.triple_words,
+                bytes: self.dealer.bytes - baseline.dealer.bytes,
+            },
+        }
+    }
 }
 
 /// Optional recording of everything the protocol publicly reveals — the
@@ -87,6 +109,10 @@ pub struct SacEngine {
     rngs: Vec<ChaCha12Rng>,
     invocations: u64,
     batches: u64,
+    /// Snapshot taken by [`Self::reset_stats`]; [`Self::stats`] reports
+    /// cumulative counters minus this baseline, so windowed readings can
+    /// never go negative however engines are reused across queries.
+    baseline: SacStats,
     transcript: Option<Transcript>,
 }
 
@@ -106,6 +132,7 @@ impl SacEngine {
                 .collect(),
             invocations: 0,
             batches: 0,
+            baseline: SacStats::default(),
             transcript: None,
         }
     }
@@ -132,6 +159,15 @@ impl SacEngine {
 
     /// Statistics since construction (or the last [`Self::reset_stats`]).
     pub fn stats(&self) -> SacStats {
+        self.cumulative_stats().delta_since(&self.baseline)
+    }
+
+    /// Statistics since construction, regardless of any
+    /// [`Self::reset_stats`] calls. These counters are monotonic, so
+    /// before/after snapshots around a query always subtract to a valid
+    /// (non-negative) per-query delta — the source per-query reporting
+    /// must use.
+    pub fn cumulative_stats(&self) -> SacStats {
         SacStats {
             invocations: self.invocations,
             net: self.mesh.stats(),
@@ -150,11 +186,14 @@ impl SacEngine {
         self.batches
     }
 
-    /// Resets traffic statistics (message-kind counters are preserved for
-    /// the audit; invocation count restarts).
+    /// Restarts the [`Self::stats`] window by snapshotting the cumulative
+    /// counters as the new baseline. Underlying counters (including the
+    /// dealer's and the mesh's, which an earlier revision zeroed
+    /// inconsistently) keep increasing monotonically, so concurrent
+    /// before/after delta readers via [`Self::cumulative_stats`] are
+    /// unaffected. Message-kind counters are preserved for the audit.
     pub fn reset_stats(&mut self) {
-        self.mesh.reset_stats();
-        self.invocations = 0;
+        self.baseline = self.cumulative_stats();
     }
 
     /// **Fed-SAC**: returns `Σ a[p] < Σ b[p]`, revealing only that bit.
@@ -198,8 +237,20 @@ impl SacEngine {
         self.invocations += k as u64;
         self.batches += 1;
 
-        let results = match self.backend {
-            SacBackend::Real => self.less_than_many_real(pairs)?,
+        // Per-execution observability: one `fedsac.exec` span whose closing
+        // event carries the round/byte deltas of exactly this execution.
+        // Only public accounting quantities are recorded — the `ObsValue`
+        // payload type cannot even represent a ring element.
+        let obs_before = fedroad_obs::is_enabled().then(|| {
+            fedroad_obs::span_begin(
+                "fedsac.exec",
+                &[("k", fedroad_obs::ObsValue::Count(k as u64))],
+            );
+            self.mesh.stats()
+        });
+
+        let outcome = match self.backend {
+            SacBackend::Real => self.less_than_many_real(pairs),
             SacBackend::Modeled => {
                 // Identical observable results…
                 let results = pairs
@@ -209,9 +260,31 @@ impl SacEngine {
                 // …and identical cost accounting.
                 self.mesh.account_scatter(MsgKind::InputShare, 2 * k);
                 account_less_than_zero_many(&mut self.mesh, &mut self.dealer, k);
-                results
+                Ok(results)
             }
         };
+        if let Some(before) = obs_before {
+            let delta = self.mesh.stats().delta_since(&before);
+            fedroad_obs::counter_add("fedsac.invocations", k as u64);
+            fedroad_obs::counter_add("fedsac.executions", 1);
+            fedroad_obs::counter_add("fedsac.rounds", delta.rounds);
+            fedroad_obs::counter_add("fedsac.bytes", delta.bytes);
+            fedroad_obs::hist_record("fedsac.batch_size", k as u64);
+            fedroad_obs::span_end(
+                "fedsac.exec",
+                &[
+                    ("k", fedroad_obs::ObsValue::Count(k as u64)),
+                    ("rounds", fedroad_obs::ObsValue::Count(delta.rounds)),
+                    ("messages", fedroad_obs::ObsValue::Count(delta.messages)),
+                    ("bytes", fedroad_obs::ObsValue::Bytes(delta.bytes)),
+                    (
+                        "per_party_bytes",
+                        fedroad_obs::ObsValue::Bytes(delta.per_party_bytes),
+                    ),
+                ],
+            );
+        }
+        let results = outcome?;
         if let Some(t) = &mut self.transcript {
             t.revealed_bits.extend(&results);
         }
@@ -378,6 +451,75 @@ mod tests {
         let mut modeled = SacEngine::new(3, SacBackend::Modeled, 9);
         assert_eq!(modeled.less_than_many(&pairs).unwrap(), bits);
         assert_eq!(modeled.stats(), batched.stats());
+    }
+
+    #[test]
+    fn reset_mid_window_keeps_cumulative_deltas_non_negative() {
+        // Regression: `reset_stats` used to zero some underlying counters
+        // while leaving others, so a per-query before/after delta spanning
+        // a reset could go "negative" (wrap). It is now a pure baseline
+        // snapshot: cumulative counters are monotonic across resets.
+        let mut eng = SacEngine::new(3, SacBackend::Real, 11);
+        let before = eng.cumulative_stats();
+        eng.less_than(&[1, 2, 3], &[4, 5, 6]).unwrap();
+        eng.reset_stats();
+        eng.less_than(&[7, 8, 9], &[1, 2, 3]).unwrap();
+        let delta = eng.cumulative_stats().delta_since(&before);
+        // The whole window is visible despite the reset in the middle…
+        assert_eq!(delta.invocations, 2);
+        assert_eq!(delta.net.rounds, 2 * FEDSAC_ROUNDS);
+        assert_eq!(delta.dealer.edabits, 2);
+        // …while the windowed view only covers the post-reset call.
+        let windowed = eng.stats();
+        assert_eq!(windowed.invocations, 1);
+        assert_eq!(windowed.net.rounds, FEDSAC_ROUNDS);
+        assert_eq!(windowed.dealer.edabits, 1);
+        // A second reset empties the window without disturbing cumulative.
+        eng.reset_stats();
+        assert_eq!(eng.stats(), SacStats::default());
+        assert_eq!(eng.cumulative_stats().delta_since(&before).invocations, 2);
+    }
+
+    #[test]
+    fn batched_rounds_pin_the_modeled_time_formula() {
+        use crate::net::NetworkModel;
+        // A latency-only network model turns `modeled_time_s` into a pure
+        // round count, pinning the R·(L + S/B) formula on the batched path:
+        // one 8-wide batch pays FEDSAC_ROUNDS, eight sequential calls pay
+        // 8 × FEDSAC_ROUNDS.
+        let pairs: Vec<(Vec<u64>, Vec<u64>)> = (0..8)
+            .map(|i| (vec![i, i + 1, i + 2], vec![2 * i, i, 3]))
+            .collect();
+        let latency_only = NetworkModel {
+            latency_s: 1.0,
+            bandwidth_bps: f64::INFINITY,
+            per_message_s: 0.0,
+        };
+        let mut batched = SacEngine::new(3, SacBackend::Modeled, 13);
+        batched.less_than_many(&pairs).unwrap();
+        assert_eq!(
+            latency_only.modeled_time_s(&batched.stats().net),
+            FEDSAC_ROUNDS as f64
+        );
+        let mut sequential = SacEngine::new(3, SacBackend::Modeled, 13);
+        for (a, b) in &pairs {
+            sequential.less_than(a, b).unwrap();
+        }
+        assert_eq!(
+            latency_only.modeled_time_s(&sequential.stats().net),
+            8.0 * FEDSAC_ROUNDS as f64
+        );
+        // Bandwidth-only model: time is exactly the per-party byte volume.
+        let bandwidth_only = NetworkModel {
+            latency_s: 0.0,
+            bandwidth_bps: 1.0,
+            per_message_s: 0.0,
+        };
+        let net = batched.stats().net;
+        assert_eq!(
+            bandwidth_only.modeled_time_s(&net),
+            net.per_party_bytes as f64
+        );
     }
 
     #[test]

@@ -75,6 +75,18 @@ impl NetStats {
         self.bytes += other.bytes;
         self.per_party_bytes += other.per_party_bytes;
     }
+
+    /// Component-wise difference `self − baseline`. Mesh counters are
+    /// monotonic, so two reads of [`Mesh::stats`] always subtract to a
+    /// valid window delta.
+    pub fn delta_since(&self, baseline: &NetStats) -> NetStats {
+        NetStats {
+            rounds: self.rounds - baseline.rounds,
+            messages: self.messages - baseline.messages,
+            bytes: self.bytes - baseline.bytes,
+            per_party_bytes: self.per_party_bytes - baseline.per_party_bytes,
+        }
+    }
 }
 
 /// In-process full-mesh network between `P` parties.
@@ -106,7 +118,10 @@ impl Mesh {
         self.n
     }
 
-    /// Traffic statistics so far.
+    /// Traffic statistics so far. Counters are **monotonic** — they are
+    /// never zeroed, so any two reads subtract to a valid window delta
+    /// (see [`NetStats::delta_since`]). Windowed consumers snapshot a
+    /// baseline instead of resetting (see `SacEngine::reset_stats`).
     pub fn stats(&self) -> NetStats {
         self.stats
     }
@@ -114,11 +129,6 @@ impl Mesh {
     /// Per-kind message counts (for the structural audit).
     pub fn kind_counts(&self) -> &std::collections::HashMap<MsgKind, u64> {
         &self.kind_counts
-    }
-
-    /// Resets counters (used between experiment phases).
-    pub fn reset_stats(&mut self) {
-        self.stats = NetStats::default();
     }
 
     /// One synchronous round in which every party broadcasts `words[p]` to
@@ -271,6 +281,78 @@ mod tests {
         };
         // 3 rounds × 1s + 200 B / 100 B/s + 2 msgs × 0.5s = 3 + 2 + 1.
         assert!((m.modeled_time_s(&stats) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modeled_time_pins_the_paper_formula_on_lan() {
+        // R·(L + S/B) + per-message processing, §VIII-B, on the paper's
+        // LAN parameters: 10 rounds × 0.2 ms + 250 B / 1 GB/s
+        // + 25 per-party messages × 40 µs = 0.00300025 s exactly.
+        let stats = NetStats {
+            rounds: 10,
+            messages: 100,
+            bytes: 1000,
+            per_party_bytes: 250, // fraction 1/4 ⇒ 25 per-party messages
+        };
+        let got = NetworkModel::lan().modeled_time_s(&stats);
+        assert!((got - 0.003_000_25).abs() < 1e-15, "got {got}");
+    }
+
+    #[test]
+    fn modeled_time_pins_each_term_in_isolation() {
+        let stats = NetStats {
+            rounds: 7,
+            messages: 60,
+            bytes: 6000,
+            per_party_bytes: 2000, // fraction 1/3 ⇒ 20 per-party messages
+        };
+        // Latency-only model: exactly R·L.
+        let latency = NetworkModel {
+            latency_s: 0.5,
+            bandwidth_bps: f64::INFINITY,
+            per_message_s: 0.0,
+        };
+        assert_eq!(latency.modeled_time_s(&stats), 3.5);
+        // Bandwidth-only model: exactly S/B on the per-party volume.
+        let bandwidth = NetworkModel {
+            latency_s: 0.0,
+            bandwidth_bps: 1000.0,
+            per_message_s: 0.0,
+        };
+        assert_eq!(bandwidth.modeled_time_s(&stats), 2.0);
+        // Processing-only model: exactly per-party messages × cost.
+        let processing = NetworkModel {
+            latency_s: 0.0,
+            bandwidth_bps: f64::INFINITY,
+            per_message_s: 0.25,
+        };
+        assert_eq!(processing.modeled_time_s(&stats), 5.0);
+    }
+
+    #[test]
+    fn modeled_time_of_empty_stats_is_zero() {
+        assert_eq!(
+            NetworkModel::lan().modeled_time_s(&NetStats::default()),
+            0.0
+        );
+        assert_eq!(
+            NetworkModel::wan().modeled_time_s(&NetStats::default()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn stats_are_monotonic_and_deltas_subtract() {
+        let mut mesh = Mesh::new(3);
+        mesh.account_broadcast(MsgKind::MaskedOpen, 4);
+        let before = mesh.stats();
+        mesh.account_broadcast(MsgKind::BitOpen, 2);
+        mesh.account_scatter(MsgKind::InputShare, 1);
+        let delta = mesh.stats().delta_since(&before);
+        assert_eq!(delta.rounds, 2);
+        assert_eq!(delta.messages, 12);
+        assert_eq!(delta.bytes, 6 * 3 * 8);
+        assert_eq!(delta.per_party_bytes, 2 * 3 * 8);
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! The global recorder: spans, monotonic counters, log2 histograms.
+//!
+//! All state lives behind one [`Mutex`] guarded by a relaxed
+//! [`AtomicBool`] fast path, so a disabled recorder costs one atomic load
+//! per call site. Timestamps are nanoseconds since a process-wide anchor
+//! (`Instant`-based, monotonic); thread ids are small per-process indices
+//! so Chrome-trace nesting validates per thread.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// The closed set of values a span, instant, or metric may carry.
+///
+/// This enum is the secret-hygiene boundary of the whole layer: there is
+/// no variant for ring elements, share words, or arbitrary strings, so
+/// protocol secrets are unrepresentable in a trace by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObsValue {
+    /// A cardinality: invocations, duels, settled vertices, rounds.
+    Count(u64),
+    /// A traffic volume in bytes.
+    Bytes(u64),
+    /// A duration in nanoseconds.
+    DurationNs(u64),
+    /// A public identifier (vertex id, silo index, level number).
+    Id(u64),
+    /// A public boolean flag.
+    Flag(bool),
+}
+
+impl ObsValue {
+    /// The numeric payload (`Flag` maps to 0/1).
+    pub fn as_u64(self) -> u64 {
+        match self {
+            ObsValue::Count(v) | ObsValue::Bytes(v) | ObsValue::DurationNs(v) | ObsValue::Id(v) => {
+                v
+            }
+            ObsValue::Flag(b) => u64::from(b),
+        }
+    }
+}
+
+/// What kind of timeline event a [`TraceEvent`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opening (Chrome `ph: "B"`).
+    Begin,
+    /// Span closing (Chrome `ph: "E"`).
+    End,
+    /// A point event (Chrome `ph: "i"`).
+    Instant,
+}
+
+/// One recorded timeline event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process-wide recording anchor.
+    pub ts_ns: u64,
+    /// Small per-process thread index (first use of the recorder on a
+    /// thread assigns the next id).
+    pub tid: u64,
+    /// Begin / End / Instant.
+    pub kind: EventKind,
+    /// Static event name; dotted namespaces (`fedsac.exec`,
+    /// `phase.core_astar`) group related events.
+    pub name: &'static str,
+    /// Payload, restricted to [`ObsValue`].
+    pub args: Vec<(&'static str, ObsValue)>,
+}
+
+/// One non-empty bucket of a log2 histogram: values `v` with
+/// `bit_length(v) == bucket` (bucket 0 holds exactly the value 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistBucket {
+    /// Bucket index = bit length of the recorded values.
+    pub bucket: u32,
+    /// Smallest value the bucket covers (`2^(bucket-1)`, or 0).
+    pub floor: u64,
+    /// Number of recorded values in the bucket.
+    pub count: u64,
+}
+
+/// A point-in-time copy of every aggregate metric.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotonic counters, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Log2 histograms, name-sorted, non-empty buckets only.
+    pub histograms: Vec<(String, Vec<HistBucket>)>,
+    /// Timeline events recorded so far.
+    pub num_events: usize,
+}
+
+#[derive(Default)]
+struct State {
+    events: Vec<TraceEvent>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, [u64; 65]>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn state() -> MutexGuard<'static, State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE
+        .get_or_init(|| Mutex::new(State::default()))
+        .lock()
+        // A panic while holding the lock leaves intact (if partial) data;
+        // observability must never take the process down with it.
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide recording anchor (monotonic).
+pub fn now_ns() -> u64 {
+    anchor().elapsed().as_nanos() as u64
+}
+
+/// The calling thread's small recorder thread id.
+pub fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// Turns recording on. Events/metrics accumulate until [`reset`].
+pub fn enable() {
+    // Pin the time anchor no later than the first enable.
+    let _ = anchor();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns recording off (the fast path at every call site).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the recorder is currently on.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all recorded events, counters, and histograms (the enabled flag
+/// is left as-is).
+pub fn reset() {
+    let mut s = state();
+    s.events.clear();
+    s.counters.clear();
+    s.histograms.clear();
+}
+
+/// Adds `delta` to the monotonic counter `name` (no-op when disabled).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    *state().counters.entry(name).or_insert(0) += delta;
+}
+
+/// Current value of counter `name` (0 if never touched).
+pub fn counter_value(name: &str) -> u64 {
+    state().counters.get(name).copied().unwrap_or(0)
+}
+
+/// Records `value` into the log2 histogram `name` (no-op when disabled).
+/// Bucket index is the bit length of `value`, so bucket `b` covers
+/// `[2^(b-1), 2^b)` and bucket 0 holds zeros.
+#[inline]
+pub fn hist_record(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let bucket = (64 - value.leading_zeros()) as usize;
+    state().histograms.entry(name).or_insert([0; 65])[bucket] += 1;
+}
+
+fn push_event(kind: EventKind, name: &'static str, args: &[(&'static str, ObsValue)]) {
+    let ev = TraceEvent {
+        ts_ns: now_ns(),
+        tid: current_tid(),
+        kind,
+        name,
+        args: args.to_vec(),
+    };
+    state().events.push(ev);
+}
+
+/// Records a point event (no-op when disabled).
+#[inline]
+pub fn instant(name: &'static str, args: &[(&'static str, ObsValue)]) {
+    if !is_enabled() {
+        return;
+    }
+    push_event(EventKind::Instant, name, args);
+}
+
+/// Opens a span explicitly. Pair with [`span_end`] of the same name on the
+/// same thread; prefer [`span`] where scope-based closing works.
+#[inline]
+pub fn span_begin(name: &'static str, args: &[(&'static str, ObsValue)]) {
+    if !is_enabled() {
+        return;
+    }
+    push_event(EventKind::Begin, name, args);
+}
+
+/// Closes a span opened by [`span_begin`]; `args` land on the closing
+/// event (the natural place for quantities known only at the end, such as
+/// round/byte deltas).
+#[inline]
+pub fn span_end(name: &'static str, args: &[(&'static str, ObsValue)]) {
+    if !is_enabled() {
+        return;
+    }
+    push_event(EventKind::End, name, args);
+}
+
+/// RAII span: records Begin now and End when dropped. Inert (no events on
+/// drop either) when the recorder was disabled at creation.
+#[must_use = "a span closes when the guard drops; binding it to `_` closes immediately"]
+pub struct SpanGuard {
+    name: Option<&'static str>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name {
+            span_end(name, &[]);
+        }
+    }
+}
+
+/// Opens an RAII span (no-op guard when disabled).
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { name: None };
+    }
+    span_begin(name, &[]);
+    SpanGuard { name: Some(name) }
+}
+
+/// A capture point: the current timeline length. Pass to [`events_since`]
+/// / [`thread_events_since`] to extract everything recorded afterwards.
+pub fn mark() -> usize {
+    state().events.len()
+}
+
+/// Clones every event recorded at or after `mark` (all threads).
+pub fn events_since(mark: usize) -> Vec<TraceEvent> {
+    let s = state();
+    s.events.get(mark..).unwrap_or(&[]).to_vec()
+}
+
+/// Clones the calling thread's events recorded at or after `mark` — the
+/// capture primitive for per-query traces (other threads' concurrent
+/// recordings don't leak into the query timeline).
+pub fn thread_events_since(mark: usize) -> Vec<TraceEvent> {
+    let tid = current_tid();
+    let s = state();
+    s.events
+        .get(mark..)
+        .unwrap_or(&[])
+        .iter()
+        .filter(|e| e.tid == tid)
+        .cloned()
+        .collect()
+}
+
+/// Copies out every aggregate metric.
+pub fn snapshot() -> Snapshot {
+    let s = state();
+    Snapshot {
+        counters: s
+            .counters
+            .iter()
+            .map(|(name, v)| (name.to_string(), *v))
+            .collect(),
+        histograms: s
+            .histograms
+            .iter()
+            .map(|(name, buckets)| {
+                let nonzero = buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c > 0)
+                    .map(|(b, c)| HistBucket {
+                        bucket: b as u32,
+                        floor: if b == 0 { 0 } else { 1u64 << (b - 1) },
+                        count: *c,
+                    })
+                    .collect();
+                (name.to_string(), nonzero)
+            })
+            .collect(),
+        num_events: s.events.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests touching the global recorder.
+    pub(crate) fn with_recorder_lock<R>(f: impl FnOnce() -> R) -> R {
+        static GATE: Mutex<()> = Mutex::new(());
+        let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        disable();
+        let r = f();
+        reset();
+        disable();
+        r
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        with_recorder_lock(|| {
+            counter_add("c", 5);
+            hist_record("h", 9);
+            instant("i", &[]);
+            let _s = span("s");
+            drop(_s);
+            assert_eq!(counter_value("c"), 0);
+            let snap = snapshot();
+            assert!(snap.counters.is_empty());
+            assert!(snap.histograms.is_empty());
+            assert_eq!(snap.num_events, 0);
+        });
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        with_recorder_lock(|| {
+            enable();
+            counter_add("fedsac.rounds", 3);
+            counter_add("fedsac.rounds", 4);
+            hist_record("batch", 0);
+            hist_record("batch", 1);
+            hist_record("batch", 5); // bit length 3
+            hist_record("batch", 7); // bit length 3
+            let snap = snapshot();
+            assert_eq!(snap.counters, vec![("fedsac.rounds".to_string(), 7)]);
+            let (name, buckets) = &snap.histograms[0];
+            assert_eq!(name, "batch");
+            assert_eq!(
+                buckets,
+                &vec![
+                    HistBucket {
+                        bucket: 0,
+                        floor: 0,
+                        count: 1
+                    },
+                    HistBucket {
+                        bucket: 1,
+                        floor: 1,
+                        count: 1
+                    },
+                    HistBucket {
+                        bucket: 3,
+                        floor: 4,
+                        count: 2
+                    },
+                ]
+            );
+        });
+    }
+
+    #[test]
+    fn spans_nest_and_marks_capture() {
+        with_recorder_lock(|| {
+            enable();
+            let m = mark();
+            {
+                let _outer = span("outer");
+                instant("tick", &[("n", ObsValue::Count(1))]);
+                let _inner = span("inner");
+            }
+            let events = thread_events_since(m);
+            let shape: Vec<(EventKind, &str)> = events.iter().map(|e| (e.kind, e.name)).collect();
+            assert_eq!(
+                shape,
+                vec![
+                    (EventKind::Begin, "outer"),
+                    (EventKind::Instant, "tick"),
+                    (EventKind::Begin, "inner"),
+                    (EventKind::End, "inner"),
+                    (EventKind::End, "outer"),
+                ]
+            );
+            assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        });
+    }
+
+    #[test]
+    fn obs_value_payloads_are_numeric() {
+        assert_eq!(ObsValue::Count(4).as_u64(), 4);
+        assert_eq!(ObsValue::Flag(true).as_u64(), 1);
+        assert_eq!(ObsValue::Flag(false).as_u64(), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-query traces: the phase timeline of one federated query plus its
+//! protocol cost totals.
+
+use crate::export::{to_chrome_json, to_jsonl, validate_nesting};
+use crate::recorder::{EventKind, TraceEvent};
+
+/// Protocol cost totals of one query, mirroring the engine's
+/// `SacStats`/`NetStats` deltas (plain integers only — no ring elements).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryTotals {
+    /// Fed-SAC invocations (batched comparisons count individually).
+    pub sac_invocations: u64,
+    /// Fed-SAC protocol executions (a batch counts once).
+    pub sac_batches: u64,
+    /// Communication rounds.
+    pub rounds: u64,
+    /// Messages across all silos.
+    pub messages: u64,
+    /// Payload bytes across all silos.
+    pub bytes: u64,
+    /// Average per-silo payload bytes.
+    pub per_party_bytes: u64,
+}
+
+/// The trace of one query: a phase timeline (events captured from the
+/// global recorder on the querying thread) plus cost totals computed from
+/// the engine's cumulative statistics.
+#[derive(Clone, Debug)]
+pub struct QueryTrace {
+    /// Human-readable query label (endpoints are public inputs).
+    pub label: String,
+    /// Capture start, nanoseconds since the recording anchor.
+    pub begin_ns: u64,
+    /// Capture end.
+    pub end_ns: u64,
+    /// The captured timeline.
+    pub events: Vec<TraceEvent>,
+    /// Cost totals over the capture window.
+    pub totals: QueryTotals,
+}
+
+impl QueryTrace {
+    /// Distinct phase names in first-occurrence order: the Begin events
+    /// whose name starts with `phase.` (shortcut-climb, core A*, …).
+    pub fn phase_names(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for e in &self.events {
+            if e.kind == EventKind::Begin && e.name.starts_with("phase.") && !out.contains(&e.name)
+            {
+                out.push(e.name);
+            }
+        }
+        out
+    }
+
+    /// Sums the per-execution `fedsac.exec` span deltas back into totals —
+    /// must equal [`Self::totals`] exactly (pinned by tests): every unit of
+    /// protocol traffic in the capture window is attributed to exactly one
+    /// recorded execution.
+    pub fn fedsac_event_totals(&self) -> QueryTotals {
+        let mut t = QueryTotals::default();
+        for e in &self.events {
+            if e.kind != EventKind::End || e.name != "fedsac.exec" {
+                continue;
+            }
+            t.sac_batches += 1;
+            for (key, v) in &e.args {
+                let v = v.as_u64();
+                match *key {
+                    "k" => t.sac_invocations += v,
+                    "rounds" => t.rounds += v,
+                    "messages" => t.messages += v,
+                    "bytes" => t.bytes += v,
+                    "per_party_bytes" => t.per_party_bytes += v,
+                    _ => {}
+                }
+            }
+        }
+        t
+    }
+
+    /// Wall-clock duration of the capture window in nanoseconds.
+    pub fn wall_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.begin_ns)
+    }
+
+    /// The timeline as JSONL (see [`crate::export::to_jsonl`]).
+    pub fn to_jsonl(&self) -> String {
+        to_jsonl(&self.events)
+    }
+
+    /// The timeline as Chrome trace-event JSON; load the file in Perfetto
+    /// (ui.perfetto.dev → "Open trace file") or `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        to_chrome_json(&self.events)
+    }
+
+    /// Structural validity: a non-empty phase timeline with strictly
+    /// nested spans.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.events.is_empty() {
+            return Err("query trace captured no events (recorder disabled?)".to_string());
+        }
+        if self.phase_names().is_empty() {
+            return Err("query trace has no phase.* spans".to_string());
+        }
+        validate_nesting(&self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::ObsValue;
+
+    fn exec_end(k: u64, rounds: u64, bytes: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns: 10,
+            tid: 1,
+            kind: EventKind::End,
+            name: "fedsac.exec",
+            args: vec![
+                ("k", ObsValue::Count(k)),
+                ("rounds", ObsValue::Count(rounds)),
+                ("messages", ObsValue::Count(2 * rounds)),
+                ("bytes", ObsValue::Bytes(bytes)),
+                ("per_party_bytes", ObsValue::Bytes(bytes / 3)),
+            ],
+        }
+    }
+
+    fn begin(name: &'static str) -> TraceEvent {
+        TraceEvent {
+            ts_ns: 1,
+            tid: 1,
+            kind: EventKind::Begin,
+            name,
+            args: vec![],
+        }
+    }
+
+    fn end(name: &'static str) -> TraceEvent {
+        TraceEvent {
+            ts_ns: 20,
+            tid: 1,
+            kind: EventKind::End,
+            name,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn phases_and_event_totals_roll_up() {
+        let trace = QueryTrace {
+            label: "spsp 0->9".into(),
+            begin_ns: 0,
+            end_ns: 30,
+            events: vec![
+                begin("phase.shortcut_climb"),
+                begin("fedsac.exec"),
+                exec_end(4, 5, 96),
+                end("phase.shortcut_climb"),
+                begin("phase.core_astar"),
+                begin("fedsac.exec"),
+                exec_end(2, 5, 48),
+                end("phase.core_astar"),
+            ],
+            totals: QueryTotals {
+                sac_invocations: 6,
+                sac_batches: 2,
+                rounds: 10,
+                messages: 20,
+                bytes: 144,
+                per_party_bytes: 48,
+            },
+        };
+        assert_eq!(
+            trace.phase_names(),
+            vec!["phase.shortcut_climb", "phase.core_astar"]
+        );
+        assert_eq!(trace.fedsac_event_totals(), trace.totals);
+        assert_eq!(trace.wall_ns(), 30);
+        trace.validate().expect("structurally valid");
+    }
+
+    #[test]
+    fn validation_rejects_empty_and_phaseless_traces() {
+        let empty = QueryTrace {
+            label: "x".into(),
+            begin_ns: 0,
+            end_ns: 0,
+            events: vec![],
+            totals: QueryTotals::default(),
+        };
+        assert!(empty.validate().is_err());
+        let phaseless = QueryTrace {
+            label: "x".into(),
+            begin_ns: 0,
+            end_ns: 0,
+            events: vec![begin("fedsac.exec"), end("fedsac.exec")],
+            totals: QueryTotals::default(),
+        };
+        assert!(phaseless.validate().is_err());
+    }
+}

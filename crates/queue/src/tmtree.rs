@@ -189,6 +189,16 @@ impl<T> TmTree<T> {
             for _ in &duels {
                 self.counts.record(Phase::Build);
             }
+            // One instant per tournament level: the duel count is the width
+            // of the batched comparison the level issues (public structure,
+            // no key material).
+            fedroad_obs::instant(
+                "tmtree.level",
+                &[
+                    ("duels", fedroad_obs::ObsValue::Count(duels.len() as u64)),
+                    ("width", fedroad_obs::ObsValue::Count(level.len() as u64)),
+                ],
+            );
             let outcomes = {
                 let refs: Vec<(&T, &T)> = duels
                     .iter()

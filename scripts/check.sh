@@ -5,6 +5,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> no build artifacts tracked in git"
+if git ls-files | grep -q '^target/'; then
+  echo "error: files under target/ are tracked in git:" >&2
+  git ls-files | grep '^target/' | head >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -14,8 +21,17 @@ cargo clippy --all-targets -- -D warnings
 echo "==> fedroad-lint (secret-hygiene static analysis)"
 cargo run -q -p fedroad-lint
 
+echo "==> fedroad-lint flags the obs leak fixture (negative check)"
+if cargo run -q -p fedroad-lint crates/lint/fixtures/bad_obs.rs >/dev/null 2>&1; then
+  echo "error: the linter passed a fixture with recorder-sink share leaks" >&2
+  exit 1
+fi
+
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> instrumented example query + artifact validation"
+cargo run -q --release -p fedroad-bench --bin trace_query
 
 # Concurrency check for the threaded protocol runner. ThreadSanitizer needs a
 # nightly toolchain and rebuilt std, so it is opt-in — uncomment (or run by

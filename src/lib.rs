@@ -11,6 +11,7 @@
 //! | [`mpc`] (`fedroad-mpc`) | secret-sharing MPC engine: dealer preprocessing, comparison circuits, the Fed-SAC operator, cost accounting, security audits |
 //! | [`queue`] (`fedroad-queue`) | comparison-optimized priority queues: counting heap, leftist heap, and the Tournament Merge tree |
 //! | [`core`] (`fedroad-core`) | the federation itself: Fed-SSSP/SPSP, the federated shortcut index, federated lower bounds, the query engine, the executable security argument |
+//! | [`obs`] (`fedroad-obs`) | secret-safe tracing & metrics: the global recorder, per-query phase traces, JSONL/Chrome-trace export |
 //!
 //! The commonly used types are re-exported at the top level, so most
 //! applications only need `use fedroad::*;`-style imports:
@@ -39,6 +40,7 @@
 pub use fedroad_core as core;
 pub use fedroad_graph as graph;
 pub use fedroad_mpc as mpc;
+pub use fedroad_obs as obs;
 pub use fedroad_queue as queue;
 
 pub use fedroad_core::{

@@ -1,0 +1,92 @@
+//! Disabled-recorder overhead budget: instrumented Dijkstra must stay
+//! within 5% of an identical uninstrumented copy when recording is off.
+//!
+//! This file is its own test binary (own process), so no other test can
+//! enable the global recorder underneath the measurement.
+
+use fedroad::graph::{Graph, Weight, INFINITY};
+use fedroad::{grid_city, GridCityParams, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Verbatim uninstrumented copy of `fedroad_graph::algo::sssp` (same
+/// lazy-deletion Dijkstra, no span, no counters) — the baseline.
+fn sssp_plain(g: &Graph, weights: &[Weight], source: VertexId) -> Vec<Weight> {
+    let n = g.num_vertices();
+    let mut dist = vec![INFINITY; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if settled[v.index()] {
+            continue;
+        }
+        settled[v.index()] = true;
+        for arc in g.out_arcs(v) {
+            let nd = d + weights[arc.id.index()];
+            if nd < dist[arc.head.index()] {
+                dist[arc.head.index()] = nd;
+                heap.push(Reverse((nd, arc.head)));
+            }
+        }
+    }
+    dist
+}
+
+fn time_of(mut f: impl FnMut() -> u64) -> Duration {
+    let t0 = Instant::now();
+    let sink = f();
+    let elapsed = t0.elapsed();
+    assert!(sink > 0, "work must not be optimized away");
+    elapsed
+}
+
+#[test]
+fn disabled_recorder_overhead_is_within_five_percent() {
+    assert!(
+        !fedroad::obs::is_enabled(),
+        "this binary must own a recorder-free process"
+    );
+    let g = grid_city(&GridCityParams::with_target_vertices(2500), 3);
+    let w = g.static_weights();
+    let src = VertexId(0);
+
+    // Alternate the two variants and keep the per-variant minimum:
+    // the minimum over many rounds strips scheduler noise, and
+    // interleaving strips cache/frequency drift between variants.
+    let rounds = 25;
+    let mut best_plain = Duration::MAX;
+    let mut best_instr = Duration::MAX;
+    // Warm-up: touch both code paths and the graph once.
+    let _ = sssp_plain(&g, w, src);
+    let _ = fedroad::graph::algo::sssp(&g, w, src);
+    for _ in 0..rounds {
+        let t = time_of(|| {
+            sssp_plain(&g, w, src)
+                .iter()
+                .filter(|&&d| d < INFINITY)
+                .count() as u64
+        });
+        best_plain = best_plain.min(t);
+        let t = time_of(|| {
+            fedroad::graph::algo::sssp(&g, w, src)
+                .dist
+                .iter()
+                .filter(|&&d| d < INFINITY)
+                .count() as u64
+        });
+        best_instr = best_instr.min(t);
+    }
+
+    // 5% relative budget plus 100µs of timer/allocator granularity slack
+    // (the budget that matters is relative; the absolute term only keeps
+    // sub-millisecond runs from flaking on clock quantization).
+    let budget = best_plain + best_plain / 20 + Duration::from_micros(100);
+    assert!(
+        best_instr <= budget,
+        "instrumented Dijkstra too slow with recording disabled: \
+         baseline {best_plain:?}, instrumented {best_instr:?}, budget {budget:?}"
+    );
+}

@@ -1,0 +1,125 @@
+//! End-to-end observability: an SPSP query traced through the real MPC
+//! backend must produce a non-empty phase timeline whose Fed-SAC span
+//! deltas sum exactly to the engine's own cost accounting, and whose
+//! Chrome-trace export is valid, strictly nested JSON.
+
+use fedroad::core::jsonio::Value;
+use fedroad::obs::EventKind;
+use fedroad::{
+    gen_silo_weights, grid_city, CongestionLevel, EngineConfig, Federation, FederationConfig,
+    GridCityParams, Method, QueryEngine, SacBackend, VertexId,
+};
+
+/// The recorder is process-global and `spsp_traced` restores its previous
+/// enabled state on return; serialize the traced tests so one test's
+/// restore can't disable the recorder mid-capture in another.
+static RECORDER: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn recorder_lock() -> std::sync::MutexGuard<'static, ()> {
+    RECORDER.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn traced_setup(batch_rounds: bool) -> (Federation, QueryEngine) {
+    let city = grid_city(&GridCityParams::small(), 7);
+    let silos = gen_silo_weights(&city, CongestionLevel::Moderate, 3, 7);
+    let mut fed = Federation::new(
+        city,
+        silos,
+        FederationConfig {
+            backend: SacBackend::Real,
+            seed: 7,
+        },
+    );
+    let config = EngineConfig {
+        batch_rounds,
+        ..Method::FedRoad.config()
+    };
+    let engine = QueryEngine::build(&mut fed, config);
+    (fed, engine)
+}
+
+#[test]
+fn traced_query_matches_engine_accounting() {
+    let _g = recorder_lock();
+    let (mut fed, engine) = traced_setup(true);
+    let (result, trace) = engine.spsp_traced(&mut fed, VertexId(0), VertexId(99));
+    assert!(result.path.is_some(), "grid cities are connected");
+    trace.validate().expect("structurally valid trace");
+
+    // The phase timeline is non-empty and names the guided search's
+    // phases (FedRoad = shortcuts + AMPS ⇒ the guided two-phase search).
+    let phases = trace.phase_names();
+    assert_eq!(phases, vec!["phase.shortcut_climb", "phase.core_astar"]);
+
+    // Totals embedded in the trace equal the query's own cost report…
+    assert_eq!(trace.totals.sac_invocations, result.stats.sac_invocations);
+    assert_eq!(trace.totals.rounds, result.stats.rounds);
+    assert_eq!(trace.totals.bytes, result.stats.bytes);
+    assert_eq!(trace.totals.messages, result.stats.messages);
+    assert_eq!(trace.totals.per_party_bytes, result.stats.per_party_bytes);
+    // …and the per-execution `fedsac.exec` span deltas sum back to them
+    // exactly: every unit of traffic is attributed to one recorded span.
+    assert_eq!(trace.fedsac_event_totals(), trace.totals);
+    assert!(trace.totals.sac_batches > 0);
+    assert!(trace.totals.sac_invocations >= trace.totals.sac_batches);
+}
+
+#[test]
+fn traced_query_works_without_batching_too() {
+    let _g = recorder_lock();
+    let (mut fed, engine) = traced_setup(false);
+    let (result, trace) = engine.spsp_traced(&mut fed, VertexId(3), VertexId(77));
+    assert!(result.path.is_some());
+    trace.validate().expect("valid trace");
+    assert_eq!(trace.fedsac_event_totals(), trace.totals);
+    // Unbatched: every execution carries exactly one invocation.
+    assert_eq!(trace.totals.sac_batches, trace.totals.sac_invocations);
+}
+
+#[test]
+fn chrome_export_is_valid_json_with_strictly_nested_events() {
+    let _g = recorder_lock();
+    let (mut fed, engine) = traced_setup(true);
+    let (_, trace) = engine.spsp_traced(&mut fed, VertexId(0), VertexId(99));
+
+    // The JSONL export: one JSON object per line.
+    for line in trace.to_jsonl().lines() {
+        let obj = Value::parse(line).expect("each JSONL line parses");
+        obj.get("ts_ns").unwrap().as_u64().unwrap();
+        obj.get("ph").unwrap().as_str().unwrap();
+        obj.get("name").unwrap().as_str().unwrap();
+    }
+
+    // The Chrome trace: a single document with strictly nested B/E pairs.
+    let doc = Value::parse(&trace.to_chrome_json()).expect("chrome trace parses");
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    assert_eq!(events.len(), trace.events.len());
+    let mut stack: Vec<String> = Vec::new();
+    for e in events {
+        let ph = e.get("ph").unwrap().as_str().unwrap();
+        let name = e.get("name").unwrap().as_str().unwrap();
+        match ph {
+            "B" => stack.push(name.to_string()),
+            "E" => {
+                let open = stack.pop().expect("E must close an open span");
+                assert_eq!(open, name, "spans must close in LIFO order");
+            }
+            "i" => {}
+            other => panic!("unexpected phase letter {other:?}"),
+        }
+    }
+    assert!(stack.is_empty(), "all spans closed: {stack:?}");
+
+    // The recorder-side validator agrees with the manual walk above.
+    let begins = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Begin)
+        .count();
+    let ends = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::End)
+        .count();
+    assert_eq!(begins, ends);
+}
