@@ -1,0 +1,19 @@
+// lint-fixture: crates/mpc/src/net.rs
+//! Fixture: `#[cfg(not(test))]` is *production* code. The unwrap below
+//! must fire R3 even though the attribute mentions `test` — the exact
+//! misclassification the token engine used to have. The `#[cfg(test)]`
+//! module stays exempt.
+
+#[cfg(not(test))]
+pub fn deliver(m: Option<u64>) -> u64 {
+    m.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fine_here() {
+        let v = Some(1).unwrap();
+        assert_eq!(v, 1);
+    }
+}

@@ -1,0 +1,16 @@
+// lint-fixture: crates/core/src/spsp.rs
+//! Fixture: share-dependent memory access (R8 `no-secret-indexing`).
+//!
+//! Indexing a table with an unopened share word and looping to a
+//! share-valued bound are both data-dependent timing channels in the
+//! TM-tree duel path — invisible to the token engine, which has no notion
+//! of where a tainted value is *used*.
+
+pub fn duel(rng: &mut Rng, table: &[u64]) -> u64 {
+    let share = xor_shares(rng, 4);
+    let mut acc = table[share[0] as usize];
+    for i in 0..share[1] {
+        acc ^= table[i as usize];
+    }
+    acc
+}

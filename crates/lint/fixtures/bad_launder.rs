@@ -1,0 +1,35 @@
+// lint-fixture: crates/mpc/src/fedsac.rs
+//! Fixture: interprocedural leaks the token engine cannot see.
+//!
+//! `tally` forwards its argument to a recorder sink; `relay` forwards to
+//! `tally`. Feeding share words through either is R7 `no-taint-laundering`
+//! (one and two hops). `derive_mask` returns share material, so branching
+//! on its result is R4 — the wrapper-function blind spot DESIGN.md §7 used
+//! to document.
+
+fn tally(v: u64) {
+    fedroad_obs::counter_add("fedsac.words", v);
+}
+
+fn relay(v: u64) {
+    tally(v);
+}
+
+pub fn leak(rng: &mut Rng) {
+    let share = additive_shares(rng, 3);
+    relay(share[0]);
+    tally(share[1]);
+}
+
+fn derive_mask(rng: &mut Rng) -> u64 {
+    let share = additive_shares(rng, 3);
+    share[0]
+}
+
+pub fn branchy(rng: &mut Rng) -> u64 {
+    let mask = derive_mask(rng);
+    if mask > 0 {
+        return 1;
+    }
+    0
+}

@@ -1,0 +1,16 @@
+// lint-fixture: crates/mpc/src/compare.rs
+//! Fixture: stale suppression markers (R9 `unused-suppression`).
+//!
+//! Each marker below suppresses no finding and declassifies no binding —
+//! dead weight that silently licenses a future leak two lines under it.
+
+// lint: panic-ok(the unwrap this excused was removed two refactors ago)
+pub fn tidy(x: u64) -> u64 {
+    x.wrapping_add(1)
+}
+
+// lint: debug-ok(the Debug impl moved to another module)
+pub fn fmt_nothing() {}
+
+// lint: public-ok(the fold this declassified is gone)
+pub fn open_nothing() {}

@@ -34,6 +34,15 @@ fn reveal(_s: Vec<u64>) -> u64 {
     0
 }
 
+/// The one intentional reveal: folding the exchanged bit shares *is* the
+/// protocol's opened output, declassified by the marker.
+pub fn opened_bit(links: &Links) -> bool {
+    let recv = links.exchange(vec![1u64]);
+    // lint: public-ok(the XOR-fold of all exchanged bit shares is the opened comparison bit)
+    let bit = recv.iter().fold(0u64, |acc, w| acc ^ w[0]);
+    bit == 1
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -36,13 +36,17 @@ pub struct Token {
     pub line: usize,
 }
 
-/// The two escape hatches rules recognise.
+/// The three escape hatches rules recognise.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MarkerKind {
     /// `// lint: debug-ok(<reason>)` — permits a Debug/Display impl.
     DebugOk,
     /// `// lint: panic-ok(<reason>)` — permits a panic path.
     PanicOk,
+    /// `// lint: public-ok(<reason>)` — declassifies the `let` binding on
+    /// (or just below) this line: the protocol intentionally reveals the
+    /// bound value, so the taint engine treats it as public from here on.
+    PublicOk,
 }
 
 /// A recognised `// lint: …-ok(<reason>)` marker.
@@ -87,8 +91,13 @@ pub fn lex(src: &str) -> Lexed {
                     i += 1;
                 }
                 let comment: String = chars[start..i].iter().collect();
-                if let Some(marker) = parse_marker(&comment, line) {
-                    out.markers.push(marker);
+                // Doc comments (`///`, `//!`) are documentation *about*
+                // markers, never markers themselves.
+                let is_doc = comment.starts_with("///") || comment.starts_with("//!");
+                if !is_doc {
+                    if let Some(marker) = parse_marker(&comment, line) {
+                        out.markers.push(marker);
+                    }
                 }
             }
             '/' if chars.get(i + 1) == Some(&'*') => {
@@ -291,6 +300,8 @@ fn parse_marker(comment: &str, line: usize) -> Option<Marker> {
         (MarkerKind::DebugOk, r)
     } else if let Some(r) = rest.strip_prefix("panic-ok(") {
         (MarkerKind::PanicOk, r)
+    } else if let Some(r) = rest.strip_prefix("public-ok(") {
+        (MarkerKind::PublicOk, r)
     } else {
         return None;
     };
@@ -367,5 +378,79 @@ mod tests {
             .map(|t| t.text.as_str())
             .collect();
         assert_eq!(nums, vec!["0", "4", "1.5"]);
+    }
+
+    #[test]
+    fn nested_raw_strings_swallow_inner_quotes_and_hashes() {
+        // The r##"…"## form may contain `"#` without terminating; the
+        // contents must stay opaque to the rule layer.
+        let src = "let a = r##\"inner \"# quote panic!(boom)\"##; let b = 1;";
+        let lexed = lex(src);
+        let ids = idents(src);
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"b".to_string()));
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "inner \"# quote panic!(boom)");
+    }
+
+    #[test]
+    fn byte_char_literals_do_not_leak_their_contents() {
+        let toks = lex("let x = b'x'; let esc = b'\\n'; let q = b'\\''; done();").tokens;
+        // The contents of byte-char literals never surface as identifiers,
+        // and lexing resynchronises cleanly afterwards.
+        let ids: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"done"), "lexer must recover: {ids:?}");
+        assert!(
+            toks.iter().any(|t| t.kind == TokenKind::Char),
+            "byte-char literals lex as char tokens"
+        );
+    }
+
+    #[test]
+    fn doc_comments_with_rule_trigger_words_are_inert() {
+        let src = "\
+/// Never call `panic!` here; `.unwrap()` would crash the party.\n\
+//! println!(\"module doc\")\n\
+/** block doc with dbg!(x) */\n\
+fn quiet() {}\n";
+        let ids = idents(src);
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"println".to_string()));
+        assert!(!ids.contains(&"dbg".to_string()));
+        assert!(ids.contains(&"quiet".to_string()));
+    }
+
+    #[test]
+    fn static_lifetime_adjacent_to_char_literal() {
+        let toks = lex("fn f(s: &'static str) -> char { let c = 'x'; c }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["static"]);
+        assert_eq!(chars, vec!["x"]);
+    }
+
+    #[test]
+    fn public_ok_markers_are_recognised() {
+        let lexed = lex("// lint: public-ok(fold of all parties' shares is the reveal)\n");
+        assert_eq!(lexed.markers.len(), 1);
+        assert_eq!(lexed.markers[0].kind, MarkerKind::PublicOk);
     }
 }

@@ -2,13 +2,17 @@
 //!
 //! The runtime half of the paper's §VII security argument lives in
 //! `fedroad-mpc`'s transcript auditor; this crate is the *source-level*
-//! half: a dependency-free linter (hand-rolled lexer, no proc macros, no
-//! syn) that fails the build when code could format, log, branch on, or
-//! panic-unwind with raw share material. Run it as:
+//! half: a dependency-free linter (hand-rolled lexer, recursive-descent
+//! parser, no proc macros, no syn) that fails the build when code could
+//! format, log, branch on, index with, or panic-unwind with raw share
+//! material. Run it as:
 //!
 //! ```text
-//! cargo run -p fedroad-lint            # lint the whole workspace
-//! cargo run -p fedroad-lint FILE...    # lint specific files (fixtures)
+//! cargo run -p fedroad-lint                  # lint the whole workspace
+//! cargo run -p fedroad-lint FILE...          # lint specific files (fixtures)
+//! cargo run -p fedroad-lint -- --sarif       # SARIF 2.1.0 to stdout
+//! cargo run -p fedroad-lint -- --sarif-out P # SARIF to a file (text still on stderr)
+//! cargo run -p fedroad-lint -- --differential # token-vs-AST migration gate
 //! ```
 //!
 //! Rule families (see [`rules`] for exact scoping):
@@ -18,9 +22,27 @@
 //! | `no-debug-print` | `println!`/`eprintln!`/`dbg!` and `{:?}` of share values in non-test `mpc`/`core` code |
 //! | `no-debug-on-shares` | `derive(Debug)`/manual `Debug`/`Display` on share-holding types without `// lint: debug-ok(...)` |
 //! | `no-panic-hot-path` | `.unwrap()`/`.expect(`/`panic!` in protocol hot paths without `// lint: panic-ok(...)` |
-//! | `no-secret-branch` | `if`/`match` scrutinees mentioning share-bound identifiers in protocol modules |
+//! | `no-secret-branch` | `if`/`match`/`while` conditions and match guards depending on unopened share values |
 //! | `crate-hygiene` | crate roots missing `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` |
-//! | `obs-no-secret-args` | recorder sinks (`record*`/`span*`/`instant`/`counter_add`/`hist_record`) whose arguments mention share-carrying identifiers in `mpc`/`core` code |
+//! | `obs-no-secret-args` | recorder sinks (`record*`/`span*`/`instant`/`counter_add`/`hist_record`) fed share values |
+//! | `no-taint-laundering` | share-tainted arguments reaching a print/recorder sink *inside a callee*, any number of hops away (interprocedural summaries) |
+//! | `no-secret-indexing` | share values used as slice indices or loop bounds — a data-dependent memory/timing channel |
+//! | `unused-suppression` | stale `// lint: *-ok` markers that suppress nothing |
+//!
+//! Two engines back the rules. The original **token engine**
+//! ([`rules::lint_source_token`], R1–R6) is file-global and one-level; the
+//! **dataflow engine** ([`rules::lint_files`]) parses each file into a
+//! lightweight AST, runs a scope-aware flow-sensitive taint evaluation
+//! with per-function summaries computed to a fixpoint across the whole
+//! workspace, and adds R7/R8/R9. The `--differential` gate keeps the
+//! migration honest: the dataflow engine must find a (rule, line)
+//! superset of the token engine on every fixture, and both must be clean
+//! on the real tree.
+//!
+//! Intentional declassification uses `// lint: public-ok(<reason>)` on a
+//! `let` whose initializer is tainted — the marker asserts the value is a
+//! protocol-level public output (e.g. the XOR-fold of broadcast words
+//! that *is* the opened bit). Markers that declassify nothing are R9.
 //!
 //! Fixture files may begin with `// lint-fixture: <repo-relative-path>` to
 //! be linted *as if* they sat at that path — how the self-tests exercise
@@ -32,8 +54,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ast;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
+mod taint;
 
 pub use rules::{lint_source, Finding};
 
@@ -41,19 +66,36 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Lints one file on disk. A leading `// lint-fixture: <rel>` directive
-/// overrides the path classification; otherwise the path itself (made
-/// relative to `root` when possible) decides which rules apply.
+/// Lints one file on disk with the dataflow engine. A leading
+/// `// lint-fixture: <rel>` directive overrides the path classification;
+/// otherwise the path itself (made relative to `root` when possible)
+/// decides which rules apply.
 pub fn lint_file(root: &Path, path: &Path) -> io::Result<Vec<Finding>> {
     let src = fs::read_to_string(path)?;
     let rel = fixture_directive(&src).unwrap_or_else(|| rel_path(root, path));
     Ok(lint_source(&rel, &src))
 }
 
-/// Lints every first-party source file of the workspace at `root`: the
-/// root package's `src/` plus each member under `crates/*/src/`.
-/// Fixture directories and `vendor/` are skipped by construction.
+/// Lints one file on disk with the legacy token engine (the differential
+/// baseline).
+pub fn lint_file_token(root: &Path, path: &Path) -> io::Result<Vec<Finding>> {
+    let src = fs::read_to_string(path)?;
+    let rel = fixture_directive(&src).unwrap_or_else(|| rel_path(root, path));
+    Ok(rules::lint_source_token(&rel, &src))
+}
+
+/// Lints every first-party source file of the workspace at `root` with
+/// the dataflow engine; interprocedural summaries span all files, so a
+/// helper in one module is understood at its call sites in another.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(rules::lint_files(&workspace_sources(root)?))
+}
+
+/// Reads every first-party `(repo-relative path, source)` pair of the
+/// workspace at `root`: the root package's `src/` plus each member under
+/// `crates/*/src/`. Fixture directories and `vendor/` are skipped by
+/// construction.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs(&root.join("src"), &mut files)?;
     let crates_dir = root.join("crates");
@@ -66,11 +108,13 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             collect_rs(&member.join("src"), &mut files)?;
         }
     }
-    let mut findings = Vec::new();
-    for file in files {
-        findings.extend(lint_file(root, &file)?);
-    }
-    Ok(findings)
+    files
+        .into_iter()
+        .map(|path| {
+            let src = fs::read_to_string(&path)?;
+            Ok((rel_path(root, &path), src))
+        })
+        .collect()
 }
 
 /// Recursively collects `.rs` files under `dir` (no-op if absent),

@@ -1,14 +1,26 @@
-//! The six secret-hygiene rule families, run over the token stream of
-//! one source file.
+//! The secret-hygiene rule families and the two engines that run them.
 //!
-//! Scoping: rules R1/R2/R6 apply to the *secret crates* (`fedroad-mpc`,
-//! `fedroad-core`) whose values include share material; R3/R4 apply to the
-//! *protocol hot paths* — the modules a malformed or malicious message
-//! reaches before any trust boundary; R5 applies to every crate root.
-//! `#[cfg(test)]` regions are exempt from R1/R3/R4/R6 (tests legitimately
-//! print, unwrap, and record synthetic values), never from R2/R5.
+//! Scoping: rules R1/R2/R6/R7/R8 apply to the *secret crates*
+//! (`fedroad-mpc`, `fedroad-core`) whose values include share material;
+//! R3/R4 apply to the *protocol hot paths* — the modules a malformed or
+//! malicious message reaches before any trust boundary; R5 applies to
+//! every crate root; R9 applies wherever a suppression marker exists.
+//! `#[cfg(test)]` regions are exempt from R1/R3/R4/R6/R7/R8 (tests
+//! legitimately print, unwrap, and record synthetic values), never from
+//! R2/R5. `#[cfg(not(test))]` is production code and gets no exemption.
+//!
+//! Two engines share the rule set:
+//!
+//! - [`lint_source_token`] — the original token-level engine (R1–R6),
+//!   kept as the differential baseline: the AST engine must find a
+//!   superset of its findings on every fixture.
+//! - [`lint_files`] / [`lint_source`] — the hybrid engine: token-level
+//!   R2/R3/R5 plus the scope-aware, interprocedural [`crate::taint`]
+//!   dataflow for R1/R4/R6 and the new R7/R8, and R9 for stale markers.
 
-use crate::lexer::{lex, Lexed, MarkerKind, Token, TokenKind};
+use crate::ast;
+use crate::lexer::{lex, Lexed, Marker, MarkerKind, Token, TokenKind};
+use crate::taint::{self, TaintFile};
 use std::collections::HashSet;
 
 /// One rule violation.
@@ -34,7 +46,20 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// Crates whose non-test code handles share material (R1/R2 scope).
+/// A finding before marker suppression: rules emit these without looking
+/// at `// lint: …-ok` markers; [`apply_markers`] suppresses the
+/// suppressible ones centrally and tracks which markers earned their keep
+/// (the complement feeds rule R9 `unused-suppression`).
+#[derive(Clone, Debug)]
+pub struct RawFinding {
+    /// The finding as it would be reported.
+    pub finding: Finding,
+    /// Which marker kind may suppress it, if any.
+    pub suppressible: Option<MarkerKind>,
+}
+
+/// Crates whose non-test code handles share material (R1/R2/R6/R7/R8
+/// scope).
 pub const SECRET_CRATES: [&str; 2] = ["mpc", "core"];
 
 /// Protocol hot paths (R3/R4 scope): code a malformed message reaches.
@@ -87,7 +112,7 @@ pub const SHARE_APIS: [&str; 14] = [
 pub struct FileContext {
     /// Repo-relative path with `/` separators.
     pub rel_path: String,
-    /// Whether R1/R2 apply (file under a secret crate's `src/`).
+    /// Whether R1/R2/R6/R7/R8 apply (file under a secret crate's `src/`).
     pub secret_crate: bool,
     /// Whether R3/R4 apply (protocol hot path).
     pub hot_path: bool,
@@ -116,31 +141,181 @@ impl FileContext {
     }
 }
 
-/// Runs every rule family over one file's source.
+/// Runs the hybrid engine over one file (no cross-file summaries beyond
+/// it). Workspace runs should prefer [`lint_files`] so interprocedural
+/// summaries span every file.
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    let ctx = FileContext::classify(rel_path);
-    let lexed = lex(src);
-    let test_mask = test_region_mask(&lexed.tokens);
-    let tainted = tainted_idents(&lexed.tokens, &test_mask);
+    lint_files(&[(rel_path.to_string(), src.to_string())])
+}
+
+/// Runs the hybrid engine over a set of files: token-level R2/R3/R5, the
+/// AST taint dataflow for R1/R4/R6/R7/R8 with summaries computed to a
+/// fixpoint across *all* given files, marker suppression, and R9 for
+/// markers that suppress nothing.
+pub fn lint_files(inputs: &[(String, String)]) -> Vec<Finding> {
+    struct Prep {
+        ctx: FileContext,
+        lexed: Lexed,
+        tree: ast::File,
+        mask: Vec<bool>,
+    }
+    let preps: Vec<Prep> = inputs
+        .iter()
+        .map(|(rel, src)| {
+            let lexed = lex(src);
+            let mask = test_region_mask(&lexed.tokens);
+            let tree = ast::parse(&lexed.tokens);
+            Prep {
+                ctx: FileContext::classify(rel),
+                lexed,
+                tree,
+                mask,
+            }
+        })
+        .collect();
+
+    let taint_inputs: Vec<TaintFile<'_>> = preps
+        .iter()
+        .map(|p| TaintFile {
+            ctx: &p.ctx,
+            lexed: &p.lexed,
+            ast: &p.tree,
+        })
+        .collect();
+    let taint_out = taint::analyze(&taint_inputs);
 
     let mut findings = Vec::new();
-    if ctx.secret_crate {
-        rule_no_debug_print(&ctx, &lexed, &test_mask, &tainted, &mut findings);
-        rule_no_debug_on_shares(&ctx, &lexed, &mut findings);
-        rule_obs_no_secret_args(&ctx, &lexed, &test_mask, &tainted, &mut findings);
+    for (p, t) in preps.iter().zip(taint_out) {
+        let mut raw = Vec::new();
+        rule_no_debug_on_shares(&p.ctx, &p.lexed, &mut raw);
+        if p.ctx.hot_path {
+            rule_no_panic_hot_path(&p.ctx, &p.lexed, &p.mask, &mut raw);
+        }
+        if p.ctx.crate_root {
+            rule_crate_hygiene_headers(&p.ctx, &p.lexed, &mut raw);
+        }
+        raw.extend(t.raw);
+        findings.extend(apply_markers(
+            &p.ctx,
+            &p.lexed,
+            &p.mask,
+            raw,
+            &t.used_public_ok,
+            true,
+        ));
     }
-    if ctx.hot_path {
-        rule_no_panic_hot_path(&ctx, &lexed, &test_mask, &mut findings);
-        rule_no_secret_branch(&ctx, &lexed, &test_mask, &tainted, &mut findings);
-    }
-    if ctx.crate_root {
-        rule_crate_hygiene_headers(&ctx, &lexed, src, &mut findings);
-    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings
 }
 
+/// Runs the original token-level engine (R1–R6, no R7/R8/R9) over one
+/// file — the differential baseline for the AST migration.
+pub fn lint_source_token(rel_path: &str, src: &str) -> Vec<Finding> {
+    let ctx = FileContext::classify(rel_path);
+    let lexed = lex(src);
+    let test_mask = test_region_mask(&lexed.tokens);
+    let tainted = tainted_idents(&lexed, &test_mask);
+
+    let mut raw = Vec::new();
+    if ctx.secret_crate {
+        rule_no_debug_print(&ctx, &lexed, &test_mask, &tainted, &mut raw);
+        rule_no_debug_on_shares(&ctx, &lexed, &mut raw);
+        rule_obs_no_secret_args(&ctx, &lexed, &test_mask, &tainted, &mut raw);
+    }
+    if ctx.hot_path {
+        rule_no_panic_hot_path(&ctx, &lexed, &test_mask, &mut raw);
+        rule_no_secret_branch(&ctx, &lexed, &test_mask, &tainted, &mut raw);
+    }
+    if ctx.crate_root {
+        rule_crate_hygiene_headers(&ctx, &lexed, &mut raw);
+    }
+    apply_markers(&ctx, &lexed, &test_mask, raw, &HashSet::new(), false)
+}
+
+/// Suppresses suppressible raw findings covered by a matching marker,
+/// then (when `emit_unused` is set) reports rule R9 `unused-suppression`
+/// for every marker outside test regions that neither suppressed a
+/// finding nor declassified a binding (`used_external`, from the taint
+/// engine's `public-ok` bookkeeping).
+fn apply_markers(
+    ctx: &FileContext,
+    lexed: &Lexed,
+    test_mask: &[bool],
+    raw: Vec<RawFinding>,
+    used_external: &HashSet<usize>,
+    emit_unused: bool,
+) -> Vec<Finding> {
+    let mut used: HashSet<usize> = used_external.clone();
+    let mut out = Vec::new();
+    for r in raw {
+        let mut suppressed = false;
+        if let Some(kind) = r.suppressible {
+            for m in &lexed.markers {
+                if m.kind == kind && marker_covers(m, r.finding.line) {
+                    used.insert(m.line);
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            out.push(r.finding);
+        }
+    }
+    if emit_unused {
+        let spans = test_line_spans(&lexed.tokens, test_mask);
+        for m in &lexed.markers {
+            let in_test = spans.iter().any(|(lo, hi)| *lo <= m.line && m.line <= *hi);
+            if !used.contains(&m.line) && !in_test {
+                out.push(Finding {
+                    rule: "unused-suppression",
+                    file: ctx.rel_path.clone(),
+                    line: m.line,
+                    message: format!(
+                        "`// lint: {}(...)` suppresses nothing; remove the stale \
+                         marker or move it within two lines of the code it \
+                         justifies",
+                        marker_name(m.kind)
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn marker_name(kind: MarkerKind) -> &'static str {
+    match kind {
+        MarkerKind::DebugOk => "debug-ok",
+        MarkerKind::PanicOk => "panic-ok",
+        MarkerKind::PublicOk => "public-ok",
+    }
+}
+
+/// The escape-hatch placement contract: a marker covers its own line and
+/// the two below it.
+fn marker_covers(m: &Marker, line: usize) -> bool {
+    m.line <= line && line - m.line <= 2
+}
+
+/// Line ranges covered by test regions (for exempting markers from R9).
+fn test_line_spans(tokens: &[Token], mask: &[bool]) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for (t, m) in tokens.iter().zip(mask) {
+        if !*m {
+            continue;
+        }
+        match spans.last_mut() {
+            Some((_, hi)) if t.line <= *hi + 1 => *hi = (*hi).max(t.line),
+            _ => spans.push((t.line, t.line)),
+        }
+    }
+    spans
+}
+
 /// `mask[i] == true` ⇔ token `i` is inside a `#[cfg(test)]` or `#[test]`
-/// item (attribute through the item's closing brace/semicolon).
+/// item (attribute through the item's closing brace/semicolon). A `test`
+/// mention inside `not(…)` — `#[cfg(not(test))]` — marks *production*
+/// code and is excluded (the misclassification this mask used to have).
 fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0;
@@ -149,19 +324,20 @@ fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
             i += 1;
             continue;
         }
-        // Find the attribute's closing `]` and check it mentions `test`.
-        let mut j = i + 2;
+        // Find the attribute's closing `]` and classify its contents.
+        let content_start = i + 2;
+        let mut j = content_start;
         let mut depth = 1;
-        let mut is_test = false;
         while j < tokens.len() && depth > 0 {
             match tokens[j].text.as_str() {
                 "[" => depth += 1,
                 "]" => depth -= 1,
-                "test" if tokens[j].kind == TokenKind::Ident => is_test = true,
                 _ => {}
             }
             j += 1;
         }
+        let content_end = j.saturating_sub(1).max(content_start);
+        let is_test = ast::attr_marks_test(&tokens[content_start..content_end.min(tokens.len())]);
         if !is_test {
             i = j;
             continue;
@@ -202,7 +378,10 @@ fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
 
 /// One-level taint: identifiers `let`-bound from an expression that calls
 /// a [`SHARE_APIS`] function or mentions an already-tainted identifier.
-fn tainted_idents(tokens: &[Token], test_mask: &[bool]) -> HashSet<String> {
+/// A `// lint: public-ok(...)` marker covering the `let` declassifies the
+/// binding (the same contract the dataflow engine honours).
+fn tainted_idents(lexed: &Lexed, test_mask: &[bool]) -> HashSet<String> {
+    let tokens = &lexed.tokens;
     let mut tainted: HashSet<String> = HashSet::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -217,6 +396,10 @@ fn tainted_idents(tokens: &[Token], test_mask: &[bool]) -> HashSet<String> {
             i += 1;
             continue;
         }
+        let declassified = lexed
+            .markers
+            .iter()
+            .any(|m| m.kind == MarkerKind::PublicOk && marker_covers(m, tokens[i].line));
         // Bindings: idents between `let` and `=`, cut at the first `:` at
         // bracket depth 0 (a type annotation, not a binding).
         let mut bindings: Vec<&str> = Vec::new();
@@ -263,7 +446,7 @@ fn tainted_idents(tokens: &[Token], test_mask: &[bool]) -> HashSet<String> {
             }
             k += 1;
         }
-        if rhs_tainted {
+        if rhs_tainted && !declassified {
             for b in bindings {
                 tainted.insert(b.to_string());
             }
@@ -273,56 +456,53 @@ fn tainted_idents(tokens: &[Token], test_mask: &[bool]) -> HashSet<String> {
     tainted
 }
 
-/// True if a marker of `kind` sits on `line` or up to two lines above —
-/// the escape-hatch placement contract.
-fn marked(lexed: &Lexed, kind: MarkerKind, line: usize) -> bool {
-    lexed
-        .markers
-        .iter()
-        .any(|m| m.kind == kind && m.line <= line && line - m.line <= 2)
-}
-
-/// R1 `no-debug-print`: `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!`
-/// in non-test secret-crate code, and `{:?}` formatting whose subject is a
-/// tainted (share-carrying) identifier.
+/// R1 `no-debug-print` (token form): `println!`/`eprintln!`/`print!`/
+/// `eprint!`/`dbg!` in non-test secret-crate code, and `{:?}` formatting
+/// whose subject is a tainted (share-carrying) identifier.
 fn rule_no_debug_print(
     ctx: &FileContext,
     lexed: &Lexed,
     test_mask: &[bool],
     tainted: &HashSet<String>,
-    out: &mut Vec<Finding>,
+    out: &mut Vec<RawFinding>,
 ) {
-    const PRINT_MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
     let tokens = &lexed.tokens;
     for (i, t) in tokens.iter().enumerate() {
         if test_mask[i] {
             continue;
         }
         if t.kind == TokenKind::Ident
-            && PRINT_MACROS.contains(&t.text.as_str())
+            && taint::PRINT_MACROS.contains(&t.text.as_str())
             && matches!(tokens.get(i + 1), Some(n) if n.text == "!")
-            && !marked(lexed, MarkerKind::DebugOk, t.line)
         {
-            out.push(Finding {
-                rule: "no-debug-print",
-                file: ctx.rel_path.clone(),
-                line: t.line,
-                message: format!(
-                    "`{}!` in non-test code of a share-handling crate; \
-                     share material must never reach a console",
-                    t.text
-                ),
+            out.push(RawFinding {
+                finding: Finding {
+                    rule: "no-debug-print",
+                    file: ctx.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}!` in non-test code of a share-handling crate; \
+                         share material must never reach a console",
+                        t.text
+                    ),
+                },
+                suppressible: Some(MarkerKind::DebugOk),
             });
         }
-        if t.kind == TokenKind::Str && !marked(lexed, MarkerKind::DebugOk, t.line) {
+        if t.kind == TokenKind::Str {
             // Inline `{name:?}` of a tainted identifier.
             for name in inline_debug_subjects(&t.text) {
                 if tainted.contains(&name) {
-                    out.push(Finding {
-                        rule: "no-debug-print",
-                        file: ctx.rel_path.clone(),
-                        line: t.line,
-                        message: format!("`{{{name}:?}}` debug-formats share-carrying `{name}`"),
+                    out.push(RawFinding {
+                        finding: Finding {
+                            rule: "no-debug-print",
+                            file: ctx.rel_path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "`{{{name}:?}}` debug-formats share-carrying `{name}`"
+                            ),
+                        },
+                        suppressible: Some(MarkerKind::DebugOk),
                     });
                 }
             }
@@ -344,14 +524,17 @@ fn rule_no_debug_print(
                         ";" if d <= 0 => break,
                         _ => {
                             if a.kind == TokenKind::Ident && tainted.contains(&a.text) {
-                                out.push(Finding {
-                                    rule: "no-debug-print",
-                                    file: ctx.rel_path.clone(),
-                                    line: t.line,
-                                    message: format!(
-                                        "`{{:?}}` debug-formats share-carrying `{}`",
-                                        a.text
-                                    ),
+                                out.push(RawFinding {
+                                    finding: Finding {
+                                        rule: "no-debug-print",
+                                        file: ctx.rel_path.clone(),
+                                        line: t.line,
+                                        message: format!(
+                                            "`{{:?}}` debug-formats share-carrying `{}`",
+                                            a.text
+                                        ),
+                                    },
+                                    suppressible: Some(MarkerKind::DebugOk),
                                 });
                                 break;
                             }
@@ -365,7 +548,7 @@ fn rule_no_debug_print(
 }
 
 /// Extracts `name` from every `{name:?}` / `{name:#?}` in a format string.
-fn inline_debug_subjects(fmt: &str) -> Vec<String> {
+pub(crate) fn inline_debug_subjects(fmt: &str) -> Vec<String> {
     let mut subjects = Vec::new();
     let bytes = fmt.as_bytes();
     let mut i = 0;
@@ -390,9 +573,12 @@ fn inline_debug_subjects(fmt: &str) -> Vec<String> {
 }
 
 /// R2 `no-debug-on-shares`: `#[derive(.. Debug ..)]` on a [`SHARE_TYPES`]
-/// type, or a manual `Debug`/`Display` impl for one, without a
-/// `// lint: debug-ok(<reason>)` marker.
-fn rule_no_debug_on_shares(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Finding>) {
+/// type, or a manual `Debug`/`Display` impl for one. Suppressible with a
+/// `// lint: debug-ok(<reason>)` marker (normally on a redacted impl).
+fn rule_no_debug_on_shares(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<RawFinding>) {
+    if !ctx.secret_crate {
+        return;
+    }
     let tokens = &lexed.tokens;
     for (i, t) in tokens.iter().enumerate() {
         // derive(…, Debug, …) followed by struct/enum Name.
@@ -415,18 +601,19 @@ fn rule_no_debug_on_shares(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Findi
                     k += 1;
                 }
                 if let Some(name) = tokens.get(k + 1) {
-                    if SHARE_TYPES.contains(&name.text.as_str())
-                        && !marked(lexed, MarkerKind::DebugOk, t.line)
-                    {
-                        out.push(Finding {
-                            rule: "no-debug-on-shares",
-                            file: ctx.rel_path.clone(),
-                            line: t.line,
-                            message: format!(
-                                "#[derive(Debug)] on share-holding `{}`; write a \
-                                 redacted impl and mark it `// lint: debug-ok(...)`",
-                                name.text
-                            ),
+                    if SHARE_TYPES.contains(&name.text.as_str()) {
+                        out.push(RawFinding {
+                            finding: Finding {
+                                rule: "no-debug-on-shares",
+                                file: ctx.rel_path.clone(),
+                                line: t.line,
+                                message: format!(
+                                    "#[derive(Debug)] on share-holding `{}`; write a \
+                                     redacted impl and mark it `// lint: debug-ok(...)`",
+                                    name.text
+                                ),
+                            },
+                            suppressible: Some(MarkerKind::DebugOk),
                         });
                     }
                 }
@@ -442,18 +629,19 @@ fn rule_no_debug_on_shares(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Findi
             if let (Some(tp), Some(fp)) = (trait_pos, for_pos) {
                 if tp < fp {
                     if let Some(name) = window.get(fp + 1) {
-                        if SHARE_TYPES.contains(&name.text.as_str())
-                            && !marked(lexed, MarkerKind::DebugOk, t.line)
-                        {
-                            out.push(Finding {
-                                rule: "no-debug-on-shares",
-                                file: ctx.rel_path.clone(),
-                                line: t.line,
-                                message: format!(
-                                    "manual {} impl on share-holding `{}` without \
-                                     `// lint: debug-ok(...)`",
-                                    window[tp].text, name.text
-                                ),
+                        if SHARE_TYPES.contains(&name.text.as_str()) {
+                            out.push(RawFinding {
+                                finding: Finding {
+                                    rule: "no-debug-on-shares",
+                                    file: ctx.rel_path.clone(),
+                                    line: t.line,
+                                    message: format!(
+                                        "manual {} impl on share-holding `{}` without \
+                                         `// lint: debug-ok(...)`",
+                                        window[tp].text, name.text
+                                    ),
+                                },
+                                suppressible: Some(MarkerKind::DebugOk),
                             });
                         }
                     }
@@ -470,7 +658,7 @@ fn rule_no_panic_hot_path(
     ctx: &FileContext,
     lexed: &Lexed,
     test_mask: &[bool],
-    out: &mut Vec<Finding>,
+    out: &mut Vec<RawFinding>,
 ) {
     let tokens = &lexed.tokens;
     for (i, t) in tokens.iter().enumerate() {
@@ -483,31 +671,34 @@ fn rule_no_panic_hot_path(
             && matches!(tokens.get(i + 1), Some(n) if n.text == "(");
         let panic_macro =
             t.text == "panic" && matches!(tokens.get(i + 1), Some(n) if n.text == "!");
-        if (method_call || panic_macro) && !marked(lexed, MarkerKind::PanicOk, t.line) {
-            out.push(Finding {
-                rule: "no-panic-hot-path",
-                file: ctx.rel_path.clone(),
-                line: t.line,
-                message: format!(
-                    "`{}` in a protocol hot path; return a typed ProtocolError \
-                     (or justify with `// lint: panic-ok(...)`)",
-                    if panic_macro { "panic!" } else { &t.text }
-                ),
+        if method_call || panic_macro {
+            out.push(RawFinding {
+                finding: Finding {
+                    rule: "no-panic-hot-path",
+                    file: ctx.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` in a protocol hot path; return a typed ProtocolError \
+                         (or justify with `// lint: panic-ok(...)`)",
+                        if panic_macro { "panic!" } else { &t.text }
+                    ),
+                },
+                suppressible: Some(MarkerKind::PanicOk),
             });
         }
     }
 }
 
-/// R4 `no-secret-branch`: an `if`/`match` whose scrutinee mentions a
-/// tainted identifier — control flow would depend on share values, a
-/// direct timing/trace channel (the static twin of the constant-trace
-/// audit).
+/// R4 `no-secret-branch` (token form): an `if`/`match` whose scrutinee
+/// mentions a tainted identifier — control flow would depend on share
+/// values, a direct timing/trace channel (the static twin of the
+/// constant-trace audit).
 fn rule_no_secret_branch(
     ctx: &FileContext,
     lexed: &Lexed,
     test_mask: &[bool],
     tainted: &HashSet<String>,
-    out: &mut Vec<Finding>,
+    out: &mut Vec<RawFinding>,
 ) {
     let tokens = &lexed.tokens;
     for (i, t) in tokens.iter().enumerate() {
@@ -525,15 +716,18 @@ fn rule_no_secret_branch(
                 "{" if depth <= 0 => break,
                 _ => {
                     if s.kind == TokenKind::Ident && tainted.contains(&s.text) {
-                        out.push(Finding {
-                            rule: "no-secret-branch",
-                            file: ctx.rel_path.clone(),
-                            line: t.line,
-                            message: format!(
-                                "`{}` scrutinee mentions share-carrying `{}`; \
-                                 protocol control flow must be input-independent",
-                                t.text, s.text
-                            ),
+                        out.push(RawFinding {
+                            finding: Finding {
+                                rule: "no-secret-branch",
+                                file: ctx.rel_path.clone(),
+                                line: t.line,
+                                message: format!(
+                                    "`{}` scrutinee mentions share-carrying `{}`; \
+                                     protocol control flow must be input-independent",
+                                    t.text, s.text
+                                ),
+                            },
+                            suppressible: None,
                         });
                         break;
                     }
@@ -544,18 +738,16 @@ fn rule_no_secret_branch(
     }
 }
 
-/// R6 `obs-no-secret-args`: a recorder sink — any `record*`/`span*`
-/// identifier, or `instant`/`counter_add`/`hist_record` — called with an
-/// argument that mentions a share-carrying identifier or a [`SHARE_APIS`]
-/// call. The `ObsValue` payload type already cannot *represent* a ring
-/// element, but `share[0] as u64`-style coercion would still launder one
-/// into a counter; this rule closes that gap at the source level.
+/// R6 `obs-no-secret-args` (token form): a recorder sink — any
+/// `record*`/`span*` identifier, or `instant`/`counter_add`/`hist_record`
+/// — called with an argument that mentions a share-carrying identifier or
+/// a [`SHARE_APIS`] call.
 fn rule_obs_no_secret_args(
     ctx: &FileContext,
     lexed: &Lexed,
     test_mask: &[bool],
     tainted: &HashSet<String>,
-    out: &mut Vec<Finding>,
+    out: &mut Vec<RawFinding>,
 ) {
     const EXACT_SINKS: [&str; 3] = ["instant", "counter_add", "hist_record"];
     let tokens = &lexed.tokens;
@@ -581,15 +773,18 @@ fn rule_obs_no_secret_args(
                     if a.kind == TokenKind::Ident
                         && (tainted.contains(&a.text) || SHARE_APIS.contains(&a.text.as_str()))
                     {
-                        out.push(Finding {
-                            rule: "obs-no-secret-args",
-                            file: ctx.rel_path.clone(),
-                            line: t.line,
-                            message: format!(
-                                "recorder sink `{}` receives share-carrying `{}`; \
-                                 only public accounting quantities may be recorded",
-                                t.text, a.text
-                            ),
+                        out.push(RawFinding {
+                            finding: Finding {
+                                rule: "obs-no-secret-args",
+                                file: ctx.rel_path.clone(),
+                                line: t.line,
+                                message: format!(
+                                    "recorder sink `{}` receives share-carrying `{}`; \
+                                     only public accounting quantities may be recorded",
+                                    t.text, a.text
+                                ),
+                            },
+                            suppressible: None,
                         });
                         break; // one finding per call
                     }
@@ -602,19 +797,17 @@ fn rule_obs_no_secret_args(
 
 /// R5 `crate-hygiene`: every crate root must carry
 /// `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
-fn rule_crate_hygiene_headers(
-    ctx: &FileContext,
-    lexed: &Lexed,
-    _src: &str,
-    out: &mut Vec<Finding>,
-) {
+fn rule_crate_hygiene_headers(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<RawFinding>) {
     for (attr, arg) in [("forbid", "unsafe_code"), ("warn", "missing_docs")] {
         if !has_inner_attr(&lexed.tokens, attr, arg) {
-            out.push(Finding {
-                rule: "crate-hygiene",
-                file: ctx.rel_path.clone(),
-                line: 1,
-                message: format!("crate root is missing `#![{attr}({arg})]`"),
+            out.push(RawFinding {
+                finding: Finding {
+                    rule: "crate-hygiene",
+                    file: ctx.rel_path.clone(),
+                    line: 1,
+                    message: format!("crate root is missing `#![{attr}({arg})]`"),
+                },
+                suppressible: None,
             });
         }
     }
@@ -666,6 +859,21 @@ mod tests {
             }
         "#;
         assert!(lint_source("crates/mpc/src/compare.rs", src).is_empty());
+        assert!(lint_source_token("crates/mpc/src/compare.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_gets_no_exemption() {
+        let src = "#[cfg(not(test))]\npub fn deliver(m: Option<u64>) -> u64 { m.unwrap() }\n";
+        for findings in [
+            lint_source("crates/mpc/src/net.rs", src),
+            lint_source_token("crates/mpc/src/net.rs", src),
+        ] {
+            assert!(
+                findings.iter().any(|f| f.rule == "no-panic-hot-path"),
+                "cfg(not(test)) is production code: {findings:?}"
+            );
+        }
     }
 
     #[test]
@@ -673,7 +881,37 @@ mod tests {
         let src =
             "// lint: panic-ok(close enough)\n\n\n\nfn f(x: Option<u64>) -> u64 { x.unwrap() }\n";
         let findings = lint_source("crates/mpc/src/compare.rs", src);
-        assert_eq!(findings.len(), 1, "a marker four lines up must not apply");
+        let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+        assert!(
+            rules.contains(&"no-panic-hot-path"),
+            "a marker four lines up must not apply: {findings:?}"
+        );
+        assert!(
+            rules.contains(&"unused-suppression"),
+            "and the stale marker itself is a finding: {findings:?}"
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn stale_markers_are_r9_but_used_ones_are_not() {
+        let src = "\
+// lint: panic-ok(the call below was removed long ago)\npub fn tidy(x: u64) -> u64 { x + 1 }\n\n\
+// lint: panic-ok(invariant)\nfn g(x: Option<u64>) -> u64 { x.unwrap() }\n";
+        let findings = lint_source("crates/mpc/src/compare.rs", src);
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.rule == "unused-suppression")
+                .count(),
+            1,
+            "only the stale marker fires: {findings:?}"
+        );
+        assert_eq!(
+            findings.len(),
+            1,
+            "the used marker suppresses R3: {findings:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! SARIF 2.1.0 serialization for lint findings.
+//!
+//! Hand-rolled (the linter is dependency-free by charter): a minimal but
+//! spec-conformant `runs[0]` with full rule metadata, so the output loads
+//! in any SARIF viewer and uploads as a CI artifact. Produced by
+//! `cargo run -p fedroad-lint -- --sarif`.
+
+use crate::rules::Finding;
+
+/// Static metadata for every rule the two engines can emit, in stable
+/// identifier order (the SARIF `tool.driver.rules` array).
+const RULES: [(&str, &str); 9] = [
+    (
+        "no-debug-print",
+        "Debug/print macros and {:?} formatting of share material in non-test mpc/core code.",
+    ),
+    (
+        "no-debug-on-shares",
+        "derive(Debug) or manual Debug/Display on share-holding types without a debug-ok marker.",
+    ),
+    (
+        "no-panic-hot-path",
+        "unwrap/expect/panic! in protocol hot paths; malformed messages must yield typed errors.",
+    ),
+    (
+        "no-secret-branch",
+        "Control flow (if/match/while, match guards) depending on unopened share values.",
+    ),
+    (
+        "crate-hygiene",
+        "Crate roots must carry #![forbid(unsafe_code)] and #![warn(missing_docs)].",
+    ),
+    (
+        "obs-no-secret-args",
+        "Observability sinks (record*/span*/instant/counter_add/hist_record) fed share values.",
+    ),
+    (
+        "no-taint-laundering",
+        "A share-tainted argument reaches a print or recorder sink inside a callee, across any number of function hops.",
+    ),
+    (
+        "no-secret-indexing",
+        "A share value used as a slice index or loop bound — a data-dependent memory/timing channel.",
+    ),
+    (
+        "unused-suppression",
+        "A // lint: *-ok marker that suppresses no finding and declassifies no binding.",
+    ),
+];
+
+/// Renders findings as a SARIF 2.1.0 log (one run, pretty-printed).
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(4096 + findings.len() * 256);
+    out.push_str("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"fedroad-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/fedroad\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        out.push_str("            {\n");
+        out.push_str(&format!("              \"id\": {},\n", json_str(id)));
+        out.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": {} }}\n",
+            json_str(desc)
+        ));
+        out.push_str(if i + 1 < RULES.len() {
+            "            },\n"
+        } else {
+            "            }\n"
+        });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": {},\n", json_str(f.rule)));
+        out.push_str(&format!(
+            "          \"level\": {},\n",
+            json_str(level_for(f.rule))
+        ));
+        out.push_str(&format!(
+            "          \"message\": {{ \"text\": {} }},\n",
+            json_str(&f.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": {} }},\n",
+            json_str(&f.file)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {} }}\n",
+            f.line
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str(if i + 1 < findings.len() {
+            "        },\n"
+        } else {
+            "        }\n"
+        });
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Stale markers are warnings; every leak-shaped rule is an error.
+fn level_for(rule: &str) -> &'static str {
+    if rule == "unused-suppression" {
+        "warning"
+    } else {
+        "error"
+    }
+}
+
+/// Escapes a string per JSON (RFC 8259): quotes, backslashes, and control
+/// characters.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_shape_and_escaping() {
+        let findings = vec![Finding {
+            rule: "no-debug-print",
+            file: "crates/mpc/src/fedsac.rs".to_string(),
+            line: 7,
+            message: "`println!` with \"quotes\" and a\nnewline".to_string(),
+        }];
+        let s = to_sarif(&findings);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"no-debug-print\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("\\\"quotes\\\" and a\\nnewline"));
+        // Every known rule is declared in the driver metadata.
+        for (id, _) in RULES {
+            assert!(s.contains(&format!("\"id\": \"{id}\"")), "{id} missing");
+        }
+    }
+
+    #[test]
+    fn empty_run_is_still_valid_shape() {
+        let s = to_sarif(&[]);
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+}

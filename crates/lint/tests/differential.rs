@@ -1,0 +1,87 @@
+//! The token-vs-AST migration gate, as a test: on every fixture the
+//! dataflow engine must report a (rule, line) superset of the legacy
+//! token engine, and both engines must be clean on the real workspace.
+//! `cargo run -p fedroad-lint -- --differential` runs the same check in
+//! CI with per-rule counts and wall-time.
+
+use fedroad_lint::rules::lint_source_token;
+use fedroad_lint::{lint_file, lint_file_token, lint_workspace, workspace_sources};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf()
+}
+
+fn fixture_paths() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 10,
+        "fixture set shrank unexpectedly: {paths:?}"
+    );
+    paths
+}
+
+#[test]
+fn ast_engine_finds_a_superset_on_every_fixture() {
+    let root = workspace_root();
+    for path in fixture_paths() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let token = lint_file_token(&root, &path).expect("readable");
+        let ast = lint_file(&root, &path).expect("readable");
+        let token_set: BTreeSet<(&str, usize)> = token.iter().map(|f| (f.rule, f.line)).collect();
+        let ast_set: BTreeSet<(&str, usize)> = ast.iter().map(|f| (f.rule, f.line)).collect();
+        let lost: Vec<_> = token_set.difference(&ast_set).collect();
+        assert!(
+            lost.is_empty(),
+            "{name}: AST engine lost findings the token engine had: {lost:?}\n\
+             token: {token:?}\nast: {ast:?}"
+        );
+    }
+}
+
+#[test]
+fn new_rules_fire_only_under_the_ast_engine() {
+    let root = workspace_root();
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    for (fixture, rule) in [
+        ("bad_launder.rs", "no-taint-laundering"),
+        ("bad_index.rs", "no-secret-indexing"),
+        ("bad_stale_marker.rs", "unused-suppression"),
+    ] {
+        let path = dir.join(fixture);
+        let token = lint_file_token(&root, &path).expect("readable");
+        let ast = lint_file(&root, &path).expect("readable");
+        assert!(
+            ast.iter().any(|f| f.rule == rule),
+            "{fixture}: AST engine must report {rule}: {ast:?}"
+        );
+        assert!(
+            token.is_empty(),
+            "{fixture}: the token engine must be blind to it: {token:?}"
+        );
+    }
+}
+
+#[test]
+fn both_engines_are_clean_on_the_workspace() {
+    let root = workspace_root();
+    let ast = lint_workspace(&root).expect("walkable");
+    assert!(ast.is_empty(), "ast engine: {ast:?}");
+    let sources = workspace_sources(&root).expect("readable");
+    let token: Vec<_> = sources
+        .iter()
+        .flat_map(|(rel, src)| lint_source_token(rel, src))
+        .collect();
+    assert!(token.is_empty(), "token engine: {token:?}");
+}

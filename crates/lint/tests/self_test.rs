@@ -90,6 +90,59 @@ fn bad_obs_trips_obs_no_secret_args() {
 }
 
 #[test]
+fn bad_launder_trips_no_taint_laundering() {
+    let findings = fixture("bad_launder.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules
+            .iter()
+            .filter(|r| **r == "no-taint-laundering")
+            .count(),
+        2,
+        "share through relay (two hops) and tally (one hop): {findings:?}"
+    );
+    assert_eq!(
+        rules.iter().filter(|r| **r == "no-secret-branch").count(),
+        1,
+        "branch on a wrapper-returned share: {findings:?}"
+    );
+}
+
+#[test]
+fn bad_index_trips_no_secret_indexing() {
+    let findings = fixture("bad_index.rs");
+    let rules = rules_of(&findings);
+    assert!(
+        rules.iter().filter(|r| **r == "no-secret-indexing").count() >= 2,
+        "share-valued index and share-valued loop bound: {findings:?}"
+    );
+}
+
+#[test]
+fn bad_stale_marker_trips_unused_suppression() {
+    let findings = fixture("bad_stale_marker.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "unused-suppression").count(),
+        3,
+        "one stale marker of each kind: {findings:?}"
+    );
+    assert_eq!(findings.len(), 3, "nothing else fires: {findings:?}");
+}
+
+#[test]
+fn bad_cfg_not_test_trips_no_panic_hot_path() {
+    let findings = fixture("bad_cfg_not_test.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "no-panic-hot-path").count(),
+        1,
+        "cfg(not(test)) code is production; cfg(test) stays exempt: {findings:?}"
+    );
+    assert_eq!(findings.len(), 1, "{findings:?}");
+}
+
+#[test]
 fn good_fixture_is_clean() {
     let findings = fixture("good_clean.rs");
     assert!(findings.is_empty(), "unexpected findings: {findings:?}");
@@ -131,6 +184,10 @@ fn binary_exit_codes_match() {
         "bad_branch.rs",
         "bad_headers.rs",
         "bad_obs.rs",
+        "bad_launder.rs",
+        "bad_index.rs",
+        "bad_stale_marker.rs",
+        "bad_cfg_not_test.rs",
     ] {
         let out = Command::new(bin)
             .current_dir(&root)

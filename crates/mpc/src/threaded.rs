@@ -184,6 +184,7 @@ fn party_main(
         // Rounds 3–8: sign extraction; round 9: open the bit.
         let bit_share = compare_local(&links, party, m, mat)?;
         let recv = links.exchange(vec![bit_share])?;
+        // lint: public-ok(round 9 opens the bit: the XOR-fold of all bit shares is the protocol output)
         let bit = recv.iter().fold(0u64, |acc, w| acc ^ w[0]);
         results.push(bit == 1);
     }

@@ -18,14 +18,23 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> fedroad-lint (secret-hygiene static analysis)"
-cargo run -q -p fedroad-lint
+echo "==> fedroad-lint (secret-hygiene static analysis, SARIF to target/)"
+cargo run -q -p fedroad-lint -- --sarif-out target/lint.sarif
 
 echo "==> fedroad-lint flags the obs leak fixture (negative check)"
 if cargo run -q -p fedroad-lint crates/lint/fixtures/bad_obs.rs >/dev/null 2>&1; then
   echo "error: the linter passed a fixture with recorder-sink share leaks" >&2
   exit 1
 fi
+
+echo "==> fedroad-lint flags the taint-laundering fixture (negative check)"
+if cargo run -q -p fedroad-lint crates/lint/fixtures/bad_launder.rs >/dev/null 2>&1; then
+  echo "error: the linter passed a fixture with interprocedural leaks" >&2
+  exit 1
+fi
+
+echo "==> differential token-vs-AST gate"
+cargo run -q -p fedroad-lint -- --differential
 
 echo "==> cargo test -q"
 cargo test -q
