@@ -31,6 +31,13 @@ fn main() {
             println!("[{name}] records written to {}", path.display());
         }
     }
+    // The throughput sweep writes its own schema-checked document.
+    let tp = fedroad_bench::throughput::run(quick);
+    report.add_experiment("throughput", tp.batch.len() + 1);
+    match tp.save() {
+        Ok(path) => println!("[throughput] records written to {}", path.display()),
+        Err(e) => eprintln!("[throughput] failed validation: {e}"),
+    }
     report.set_snapshot(&fedroad_obs::snapshot());
     match report.save() {
         Ok(path) => println!("run report written to {}", path.display()),

@@ -14,6 +14,7 @@
 //! cargo run -p fedroad-bench --release --bin fig10    # cost ∝ #Fed-SAC
 //! cargo run -p fedroad-bench --release --bin fig11    # lower-bound accuracy
 //! cargo run -p fedroad-bench --release --bin fig12    # queue comparison counts
+//! cargo run -p fedroad-bench --release --bin throughput # batch executor, 1/2/4/8 workers
 //! cargo run -p fedroad-bench --release --bin all      # everything, in order
 //! ```
 //!
@@ -29,6 +30,7 @@ pub mod experiments;
 pub mod report;
 pub mod runreport;
 pub mod setup;
+pub mod throughput;
 pub mod workload;
 
 /// Default random seed for all experiments.

@@ -9,14 +9,11 @@
 // never a panic (see fedroad-lint rule `no-panic-hot-path`).
 #![deny(clippy::unwrap_used)]
 
-use crate::fedch::{FedChIndex, FedChStats, FedChView};
+use crate::fedch::{FedChIndex, FedChStats};
 use crate::federation::Federation;
-use crate::lb::{
-    FedAltMaxPotential, FedAltPotential, FedAmpsPotential, FedPotential, LandmarkPartials,
-    LowerBoundKind, ZeroFedPotential,
-};
+use crate::lb::{FedPotential, LandmarkPartials, LowerBoundKind};
 use crate::partials::{JointComparator, SacComparator};
-use crate::spsp::{fed_spsp, SpspOutcome};
+use crate::spsp::SpspOutcome;
 use crate::sssp::{fed_sssp, FedSsspResult};
 use crate::view::BaseView;
 use fedroad_graph::ch::contraction_order;
@@ -280,6 +277,26 @@ impl QueryEngine {
         self.fedch.as_ref()
     }
 
+    /// The landmark partial tables, when configured.
+    pub(crate) fn landmark_partials(&self) -> Option<&LandmarkPartials> {
+        self.landmark_partials.as_ref()
+    }
+
+    /// The static landmark table, when configured.
+    pub(crate) fn static_table(&self) -> Option<&LandmarkTable> {
+        self.static_table.as_ref()
+    }
+
+    /// Captures an immutable, `Arc`-shareable snapshot of everything
+    /// queries read — configuration, topology, silo weights, and this
+    /// engine's indexes — for concurrent execution via
+    /// [`BatchExecutor`](crate::executor::BatchExecutor). The snapshot is
+    /// frozen: later weight refreshes or
+    /// [`Self::update_index`] calls on the live federation don't reach it.
+    pub fn snapshot(&self, fed: &Federation) -> crate::executor::IndexSnapshot {
+        crate::executor::IndexSnapshot::capture(self, fed)
+    }
+
     /// Answers a single-pair shortest-path query.
     pub fn spsp(&self, fed: &mut Federation, s: VertexId, t: VertexId) -> QueryResult {
         // Cumulative (not windowed) snapshots: the delta stays correct even
@@ -377,16 +394,15 @@ impl QueryEngine {
         cmp: &mut dyn JointComparator,
         full_graph: &fedroad_graph::Graph,
     ) -> SpspOutcome {
-        match &self.fedch {
-            Some(index) => {
-                let view = FedChView::new(index, full_graph);
-                fed_spsp(&view, num_silos, s, t, potential, self.config.queue, cmp)
-            }
-            None => {
-                let view = BaseView::new(graph, silos);
-                fed_spsp(&view, num_silos, s, t, potential, self.config.queue, cmp)
-            }
+        crate::executor::QueryParts {
+            config: self.config,
+            num_silos,
+            graph,
+            silos,
+            full_graph,
+            fedch: self.fedch.as_ref(),
         }
+        .run_spsp(s, t, potential, cmp)
     }
 
     /// Builds the per-query potential object for this configuration.
@@ -396,28 +412,18 @@ impl QueryEngine {
         s: VertexId,
         t: VertexId,
     ) -> Box<dyn FedPotential + '_> {
-        match self.config.lower_bound {
-            LowerBoundKind::None => Box::new(ZeroFedPotential::new(fed.num_silos())),
-            LowerBoundKind::Amps => Box::new(FedAmpsPotential::new(fed.graph(), fed.silos(), s, t)),
-            LowerBoundKind::Alt { .. } => Box::new(FedAltPotential::new(
-                self.landmark_partials
-                    .as_ref()
-                    // lint: panic-ok(build() preprocesses landmarks for every Alt config)
-                    .expect("Alt requires landmark preprocessing"),
-                s,
-                t,
-            )),
-            LowerBoundKind::AltMax { .. } => Box::new(FedAltMaxPotential::new(
-                self.landmark_partials
-                    .as_ref()
-                    // lint: panic-ok(build() preprocesses landmarks for every Alt config)
-                    .expect("AltMax requires landmark preprocessing"),
-                // lint: panic-ok(build() fills the static table for AltMax)
-                self.static_table.as_ref().expect("static table"),
-                s,
-                t,
-            )),
-        }
+        crate::executor::make_potential(
+            self.config.lower_bound,
+            fed.num_silos(),
+            fed.graph(),
+            fed.silos(),
+            crate::executor::LandmarkRefs {
+                partials: self.landmark_partials.as_ref(),
+                static_table: self.static_table.as_ref(),
+            },
+            s,
+            t,
+        )
     }
 
     /// Answers a kNN (truncated single-source) query: the `k` vertices

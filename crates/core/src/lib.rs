@@ -20,6 +20,9 @@
 //! * [`lb`] — Fed-ALT / Fed-ALT-Max / Fed-AMPS lower bounds (Algorithm 4).
 //! * [`engine`] — the [`QueryEngine`] facade wiring index + lower bound +
 //!   priority queue into the paper's named method lines.
+//! * [`executor`] — the concurrent [`BatchExecutor`]: worker threads over
+//!   an `Arc`-shared [`IndexSnapshot`], with cross-query Fed-SAC round
+//!   coalescing through `fedroad_mpc`'s batch scheduler.
 //! * [`security`] — the executable §VII simulation argument.
 //! * [`oracle`] — the ideal-world joint oracle (test/evaluation only).
 //!
@@ -52,6 +55,7 @@
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod engine;
+pub mod executor;
 pub mod fedch;
 pub mod federation;
 pub mod jsonio;
@@ -64,6 +68,7 @@ pub mod sssp;
 pub mod view;
 
 pub use engine::{EngineConfig, Method, QueryEngine, QueryResult, QueryStats};
+pub use executor::{BatchExecutor, BatchOutcome, BatchReport, IndexSnapshot};
 pub use fedch::{FedChIndex, FedChStats, FedChView};
 pub use federation::{Federation, FederationConfig, SiloWeights};
 pub use lb::LowerBoundKind;

@@ -8,6 +8,7 @@
 //! proves control flow depends only on the revealed comparison results.
 
 use fedroad_mpc::{BitReplaySimulator, SacEngine};
+use fedroad_queue::DuelBatch;
 
 /// Per-silo signed key values. Signed because A* keys fold in landmark
 /// potential differences, which can be negative on individual silos even
@@ -35,6 +36,26 @@ pub trait JointComparator {
     fn less_batch(&mut self, pairs: &[(&PartialKey, &PartialKey)]) -> Vec<bool> {
         pairs.iter().map(|(a, b)| self.less(a, b)).collect()
     }
+
+    /// Issues a batch of independent comparisons as a request instead of a
+    /// blocking call (see [`fedroad_queue::Comparator::submit_batch`]).
+    /// Comparators wired to a cross-query round scheduler override this to
+    /// return [`DuelBatch::Deferred`]; the default decides immediately.
+    fn submit_batch(&mut self, pairs: &[(&PartialKey, &PartialKey)]) -> DuelBatch {
+        DuelBatch::Ready(self.less_batch(pairs))
+    }
+
+    /// Redeems a [`DuelBatch`] from [`Self::submit_batch`]. Comparators
+    /// that defer must override this; a deferred ticket reaching the
+    /// default is a caller bug (tickets are comparator-private).
+    fn resolve_batch(&mut self, batch: DuelBatch) -> Vec<bool> {
+        match batch {
+            DuelBatch::Ready(bits) => bits,
+            DuelBatch::Deferred(_) => {
+                unreachable!("deferred ticket redeemed on a comparator that never defers")
+            }
+        }
+    }
 }
 
 /// The production comparator: every call is one Fed-SAC invocation.
@@ -43,7 +64,9 @@ pub struct SacComparator<'e> {
     batched: bool,
 }
 
-fn to_ring(k: &PartialKey) -> Vec<u64> {
+/// Shifts a signed per-silo key into the unsigned Fed-SAC ring (the
+/// uniform [`KEY_OFFSET`] cancels in every comparison).
+pub(crate) fn to_ring(k: &PartialKey) -> Vec<u64> {
     k.iter()
         .map(|&v| {
             debug_assert!(v > -KEY_OFFSET && v < KEY_OFFSET, "key {v} out of range");
@@ -166,6 +189,16 @@ impl<T: KeyedEntry> fedroad_queue::Comparator<T> for EntryComparator<'_, '_> {
         let key_pairs: Vec<(&PartialKey, &PartialKey)> =
             pairs.iter().map(|(a, b)| (a.key(), b.key())).collect();
         self.cmp.less_batch(&key_pairs)
+    }
+
+    fn submit_batch(&mut self, pairs: &[(&T, &T)]) -> DuelBatch {
+        let key_pairs: Vec<(&PartialKey, &PartialKey)> =
+            pairs.iter().map(|(a, b)| (a.key(), b.key())).collect();
+        self.cmp.submit_batch(&key_pairs)
+    }
+
+    fn resolve_batch(&mut self, batch: DuelBatch) -> Vec<bool> {
+        self.cmp.resolve_batch(batch)
     }
 }
 

@@ -40,10 +40,16 @@ pub enum ProtocolError {
         /// The unreachable party.
         party: usize,
     },
-    /// A party thread panicked before delivering its result.
+    /// A party thread panicked before delivering its result. Carries the
+    /// stringified panic payload so a batch failure is attributable to the
+    /// originating party's actual crash, not to the secondary
+    /// [`ProtocolError::PeerDisconnected`] its peers observe afterwards.
     PartyPanicked {
         /// The crashed party.
         party: usize,
+        /// The panic message (`"<non-string panic payload>"` when the
+        /// payload was not a string).
+        payload: String,
     },
     /// Parties revealed different result bits — impossible for an honest
     /// execution, so this signals protocol corruption.
@@ -75,8 +81,8 @@ impl fmt::Display for ProtocolError {
             ProtocolError::PeerDisconnected { party } => {
                 write!(f, "party {party} disconnected mid-protocol")
             }
-            ProtocolError::PartyPanicked { party } => {
-                write!(f, "party {party}'s thread panicked")
+            ProtocolError::PartyPanicked { party, payload } => {
+                write!(f, "party {party}'s thread panicked: {payload}")
             }
             ProtocolError::ResultDivergence => {
                 write!(
@@ -107,7 +113,20 @@ mod tests {
             ),
             (ProtocolError::CostOutOfRange { value: 1 << 60 }, "2^54"),
             (ProtocolError::PeerDisconnected { party: 1 }, "party 1"),
-            (ProtocolError::PartyPanicked { party: 2 }, "party 2"),
+            (
+                ProtocolError::PartyPanicked {
+                    party: 2,
+                    payload: "boom".into(),
+                },
+                "party 2",
+            ),
+            (
+                ProtocolError::PartyPanicked {
+                    party: 2,
+                    payload: "injected fault".into(),
+                },
+                "injected fault",
+            ),
             (ProtocolError::ResultDivergence, "disagreed"),
             (ProtocolError::TooFewParties { got: 1 }, "at least two"),
             (ProtocolError::MissingOutput, "no output"),

@@ -22,6 +22,9 @@
 //!   security argument, enforced mechanically.
 //! * [`threaded`] — a coordinator-free execution of the same protocol with
 //!   one real thread per party (pinned equal to the lockstep engine).
+//! * [`scheduler`] — a cross-query submission queue + round scheduler
+//!   coalescing pending comparisons from many in-flight queries into one
+//!   protocol execution (the paper's `R·(L + S/B)` lever at serving time).
 //! * [`mac`] — SPDZ-style MAC-authenticated sharing: the machinery the
 //!   malicious-security upgrade would build on, with cheater detection.
 //!
@@ -48,6 +51,7 @@ pub mod error;
 pub mod fedsac;
 pub mod mac;
 pub mod net;
+pub mod scheduler;
 pub mod threaded;
 
 pub use audit::{
@@ -57,3 +61,5 @@ pub use audit::{
 pub use error::ProtocolError;
 pub use fedsac::{SacBackend, SacEngine, SacStats, Transcript, FEDSAC_ROUNDS};
 pub use net::{Mesh, MsgKind, NetStats, NetworkModel, PartyId};
+pub use scheduler::{BatchScheduler, DuelTicket, SacSession, SchedulerStats};
+pub use threaded::{run_comparisons, run_comparisons_with_fault, PartyFault};

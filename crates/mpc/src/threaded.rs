@@ -62,6 +62,18 @@ fn deal(num_parties: usize, comparisons: usize, seed: u64) -> Vec<Vec<PartyMater
     out
 }
 
+/// Stringifies a joined thread's panic payload (`&str` and `String` cover
+/// every `panic!` in this codebase; anything else gets a placeholder).
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// One party's mailbox: senders to every peer and receivers from them.
 struct Links {
     party: usize,
@@ -140,6 +152,21 @@ fn compare_local(
     Ok(((p0 ^ (g << 1)) >> 63) & 1)
 }
 
+/// Test-only fault injection for [`run_comparisons_with_fault`]: makes one
+/// party panic right before a chosen comparison, so tests can verify that
+/// the join logic attributes the failure to the *panicking* party (with its
+/// payload) rather than to the [`ProtocolError::PeerDisconnected`] every
+/// surviving peer observes afterwards.
+#[derive(Clone, Copy, Debug)]
+pub struct PartyFault {
+    /// Which party's thread panics.
+    pub party: usize,
+    /// Panic fires just before processing this comparison index.
+    pub before_comparison: usize,
+    /// The injected panic payload.
+    pub message: &'static str,
+}
+
 /// The full per-party protocol for a batch of comparisons; returns the
 /// revealed bits (identical at every party).
 fn party_main(
@@ -147,6 +174,7 @@ fn party_main(
     inputs: Vec<(u64, u64)>,
     material: Vec<PartyMaterial>,
     input_seed: u64,
+    fault: Option<PartyFault>,
 ) -> Result<Vec<bool>, ProtocolError> {
     let n = links.to.len();
     let party = links.party;
@@ -156,6 +184,12 @@ fn party_main(
     let mut results = Vec::with_capacity(inputs.len());
 
     for (i, &(a, b)) in inputs.iter().enumerate() {
+        if let Some(f) = fault {
+            if f.party == party && f.before_comparison == i {
+                // lint: panic-ok(test-only injected fault, see PartyFault)
+                panic!("{}", f.message);
+            }
+        }
         // Round 1: share both inputs (point-to-point). Our exchange is a
         // broadcast primitive, so pack per-recipient shares positionally:
         // every party broadcasts all its shares; recipients pick their
@@ -203,6 +237,19 @@ pub fn run_comparisons(
     inputs: &[(Vec<u64>, Vec<u64>)],
     seed: u64,
 ) -> Result<Vec<bool>, ProtocolError> {
+    run_comparisons_with_fault(num_parties, inputs, seed, None)
+}
+
+/// [`run_comparisons`] with optional test-only fault injection (the
+/// counterpart of [`crate::fedsac::SacEngine::inject_side_channel`]):
+/// `fault` makes one party panic mid-protocol so failure-attribution paths
+/// can be exercised deterministically.
+pub fn run_comparisons_with_fault(
+    num_parties: usize,
+    inputs: &[(Vec<u64>, Vec<u64>)],
+    seed: u64,
+    fault: Option<PartyFault>,
+) -> Result<Vec<bool>, ProtocolError> {
     if num_parties < 2 {
         return Err(ProtocolError::TooFewParties { got: num_parties });
     }
@@ -244,16 +291,32 @@ pub fn run_comparisons(
         let my_inputs: Vec<(u64, u64)> = inputs.iter().map(|(a, b)| (a[p], b[p])).collect();
         let my_material = material[p].clone();
         handles.push(thread::spawn(move || {
-            party_main(links, my_inputs, my_material, seed)
+            party_main(links, my_inputs, my_material, seed, fault)
         }));
     }
 
+    // Join *all* handles before interpreting any outcome. Joining in party
+    // order and propagating the first error eagerly used to mask a panic:
+    // when party `p` panics, every surviving peer returns
+    // `PeerDisconnected { party: p }` on its next recv, and party 0's
+    // secondary error surfaced before party `p`'s primary one was even
+    // joined (its payload was discarded outright). Collect everything, then
+    // attribute: a panic (with its payload) wins over the disconnects it
+    // caused.
+    let joined: Vec<Result<Result<Vec<bool>, ProtocolError>, String>> = handles
+        .into_iter()
+        .map(|h| h.join().map_err(|payload| describe_panic(payload.as_ref())))
+        .collect();
+    if let Some((party, payload)) = joined.iter().enumerate().find_map(|(p, r)| match r {
+        Err(payload) => Some((p, payload.clone())),
+        Ok(_) => None,
+    }) {
+        return Err(ProtocolError::PartyPanicked { party, payload });
+    }
     let mut all: Vec<Vec<bool>> = Vec::with_capacity(num_parties);
-    for (party, h) in handles.into_iter().enumerate() {
-        let bits = h
-            .join()
-            .map_err(|_| ProtocolError::PartyPanicked { party })??;
-        all.push(bits);
+    // Panics were all returned above; only protocol results remain.
+    for bits in joined.into_iter().flatten() {
+        all.push(bits?);
     }
     let reference = all.pop().ok_or(ProtocolError::TooFewParties { got: 0 })?;
     if all.iter().any(|other| other != &reference) {
@@ -312,6 +375,40 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(run_comparisons(4, &[], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn injected_panic_is_attributed_to_the_originating_party() {
+        // Regression: a party panic used to surface as the *secondary*
+        // `PeerDisconnected` that party 0 observed on its next recv, and
+        // the panic payload was discarded. The join logic must name the
+        // party that actually crashed, with its payload.
+        let inputs = random_inputs(3, 4, 17);
+        for party in 0..3 {
+            let fault = PartyFault {
+                party,
+                before_comparison: 2,
+                message: "injected fault",
+            };
+            let err = run_comparisons_with_fault(3, &inputs, 5, Some(fault)).unwrap_err();
+            assert_eq!(
+                err,
+                ProtocolError::PartyPanicked {
+                    party,
+                    payload: "injected fault".into(),
+                },
+                "fault at party {party} misattributed"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_api_without_a_fault_matches_the_plain_runner() {
+        let inputs = random_inputs(3, 20, 29);
+        assert_eq!(
+            run_comparisons_with_fault(3, &inputs, 41, None).unwrap(),
+            run_comparisons(3, &inputs, 41).unwrap()
+        );
     }
 
     #[test]

@@ -199,13 +199,18 @@ impl<T> TmTree<T> {
                     ("width", fedroad_obs::ObsValue::Count(level.len() as u64)),
                 ],
             );
-            let outcomes = {
+            // Request/response split: the duels are *submitted* while the
+            // entry borrows are live, and *resolved* after they end — a
+            // deferring comparator may block here (or lead a merged
+            // cross-query round) without holding references into the tree.
+            let batch = {
                 let refs: Vec<(&T, &T)> = duels
                     .iter()
                     .map(|&(wa, wb)| (self.item(wa), self.item(wb)))
                     .collect();
-                cmp.less_batch(&refs)
+                cmp.submit_batch(&refs)
             };
+            let outcomes = cmp.resolve_batch(batch);
 
             let mut next = Vec::with_capacity(level.len().div_ceil(2));
             let mut duel_idx = 0;

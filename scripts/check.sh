@@ -42,10 +42,17 @@ cargo test -q
 echo "==> instrumented example query + artifact validation"
 cargo run -q --release -p fedroad-bench --bin trace_query
 
-# Concurrency check for the threaded protocol runner. ThreadSanitizer needs a
-# nightly toolchain and rebuilt std, so it is opt-in — uncomment (or run by
-# hand) on a machine with nightly installed:
+# Concurrency checks for the threaded protocol runner, the cross-query round
+# scheduler, and the batch executor. ThreadSanitizer needs a nightly toolchain
+# and rebuilt std, so it is opt-in here (CI runs it as a separate non-blocking
+# job — see .github/workflows/ci.yml `tsan`). On a machine with nightly:
 #
-#   RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -p fedroad-mpc threaded
+#   export RUSTFLAGS="-Zsanitizer=thread"
+#   cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+#     -p fedroad-mpc threaded
+#   cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+#     -p fedroad-mpc scheduler
+#   cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+#     --test batch_equals_sequential --test obs_trace_end_to_end
 #
 echo "==> all checks passed"

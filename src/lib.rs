@@ -44,17 +44,19 @@ pub use fedroad_obs as obs;
 pub use fedroad_queue as queue;
 
 pub use fedroad_core::{
-    fed_spsp, fed_sssp, verify_spsp_security, BaseView, EngineConfig, FedChIndex, FedChView,
-    Federation, FederationConfig, JointComparator, JointOracle, LowerBoundKind, Method,
-    PlainComparator, QueryEngine, QueryResult, QueryStats, SacComparator, SearchView,
-    SecurityReport, SiloWeights,
+    fed_spsp, fed_sssp, verify_spsp_security, BaseView, BatchExecutor, BatchOutcome, BatchReport,
+    EngineConfig, FedChIndex, FedChView, Federation, FederationConfig, IndexSnapshot,
+    JointComparator, JointOracle, LowerBoundKind, Method, PlainComparator, QueryEngine,
+    QueryResult, QueryStats, SacComparator, SearchView, SecurityReport, SiloWeights,
 };
 pub use fedroad_graph::gen::{grid_city, GridCityParams, RoadNetworkPreset};
 pub use fedroad_graph::traffic::{
     gen_silo_weights, joint_weights, CongestionLevel, ObservationModel,
 };
 pub use fedroad_graph::{Coord, Direction, Graph, GraphBuilder, Path, VertexId, Weight};
-pub use fedroad_mpc::{NetworkModel, SacBackend, SacEngine, SacStats};
+pub use fedroad_mpc::{
+    BatchScheduler, NetworkModel, SacBackend, SacEngine, SacStats, SchedulerStats, FEDSAC_ROUNDS,
+};
 pub use fedroad_queue::{
     BinaryHeap as CountingBinaryHeap, Comparator, CompareCounts, LeftistHeap, PriorityQueue,
     QueueKind, TmTree,

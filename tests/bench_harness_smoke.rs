@@ -49,3 +49,53 @@ fn fig12_asserts_tm_tree_bounds() {
 fn ablations_run() {
     assert!(!experiments::ablations::run(true).is_empty());
 }
+
+/// The throughput sweep is the tentpole's acceptance check: the written
+/// `results/BENCH_throughput.json` must pass its schema, 8 workers must
+/// deliver ≥ 2× the modeled queries/second of 1 worker, and every batch
+/// of ≥ 4 workers must need strictly fewer secure rounds per query than
+/// sequential execution.
+#[test]
+fn throughput_coalescing_wins_and_writes_schema_checked_records() {
+    let report = fedroad_bench::throughput::run(true);
+    let path = report.save().expect("save re-validates the written bytes");
+    let text = std::fs::read_to_string(&path).expect("report file exists");
+    let doc = fedroad::core::jsonio::Value::parse(&text).expect("report re-parses");
+    fedroad_bench::throughput::validate(&doc).expect("report matches its schema");
+
+    let row = |workers: usize| {
+        report
+            .batch
+            .iter()
+            .find(|r| r.workers == workers)
+            .unwrap_or_else(|| panic!("batch sweep covers {workers} workers"))
+    };
+    let (one, eight) = (row(1), row(8));
+    assert!(
+        eight.modeled_qps >= 2.0 * one.modeled_qps,
+        "8 workers must at least double modeled throughput: {} vs {}",
+        eight.modeled_qps,
+        one.modeled_qps
+    );
+    for r in report.batch.iter().filter(|r| r.workers >= 4) {
+        assert!(
+            r.rounds_per_query < report.sequential.rounds_per_query,
+            "batch-{} must cut secure rounds per query: {} vs sequential {}",
+            r.workers,
+            r.rounds_per_query,
+            report.sequential.rounds_per_query
+        );
+        assert!(
+            r.max_requests_per_round >= 2,
+            "batch-{} never merged requests across queries",
+            r.workers
+        );
+    }
+    // One worker cannot coalesce across queries: its round count matches
+    // its request count, pinning the baseline the speedup is measured
+    // against.
+    assert_eq!(
+        one.sched_rounds,
+        report.sequential.net_rounds / fedroad::FEDSAC_ROUNDS
+    );
+}

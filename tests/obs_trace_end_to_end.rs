@@ -6,9 +6,12 @@
 use fedroad::core::jsonio::Value;
 use fedroad::obs::EventKind;
 use fedroad::{
-    gen_silo_weights, grid_city, CongestionLevel, EngineConfig, Federation, FederationConfig,
-    GridCityParams, Method, QueryEngine, SacBackend, VertexId,
+    gen_silo_weights, grid_city, BatchExecutor, BatchScheduler, CongestionLevel, EngineConfig,
+    Federation, FederationConfig, GridCityParams, Method, QueryEngine, SacBackend, SacEngine,
+    VertexId, FEDSAC_ROUNDS,
 };
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// The recorder is process-global and `spsp_traced` restores its previous
 /// enabled state on return; serialize the traced tests so one test's
@@ -74,6 +77,131 @@ fn traced_query_works_without_batching_too() {
     assert_eq!(trace.fedsac_event_totals(), trace.totals);
     // Unbatched: every execution carries exactly one invocation.
     assert_eq!(trace.totals.sac_batches, trace.totals.sac_invocations);
+}
+
+/// Stress: the batch executor under real contention — 8 workers over a
+/// mid-size city (200 queries in release; scaled down in debug builds,
+/// which are ~an order of magnitude slower) — behind a watchdog so a
+/// barrier bug fails the test instead of hanging the suite. While the
+/// batch runs, a traced query executes concurrently on its own
+/// federation: the recorder is process-global but capture is per-thread,
+/// so the trace's Fed-SAC span deltas must still sum exactly to its
+/// engine's totals with eight other threads emitting events.
+#[test]
+fn stress_batch_executor_with_concurrent_traced_query() {
+    let _g = recorder_lock();
+    let num_queries = if cfg!(debug_assertions) { 48 } else { 200 };
+    let workers = 8;
+    let num_silos = 3;
+
+    let city = grid_city(&GridCityParams::with_target_vertices(550), 11);
+    let n = city.num_vertices() as u32;
+    let silos = gen_silo_weights(&city, CongestionLevel::Moderate, num_silos, 11);
+    let mut fed = Federation::new(
+        city,
+        silos,
+        FederationConfig {
+            backend: SacBackend::Modeled,
+            seed: 11,
+        },
+    );
+    let engine = QueryEngine::build(&mut fed, Method::FedRoad.config());
+    let snapshot = Arc::new(engine.snapshot(&fed));
+    let scheduler = Arc::new(BatchScheduler::lockstep(SacEngine::new(
+        num_silos,
+        SacBackend::Modeled,
+        0x57E55,
+    )));
+    let executor = BatchExecutor::new(snapshot, scheduler, workers);
+    let pairs: Vec<(VertexId, VertexId)> = (0..num_queries as u32)
+        .map(|i| {
+            let s = (i * 37) % n;
+            let t = (i * 101 + n / 2) % n;
+            (VertexId(s), VertexId(if t == s { (t + 1) % n } else { t }))
+        })
+        .collect();
+
+    let was_enabled = fedroad::obs::is_enabled();
+    fedroad::obs::enable();
+    let snap_before = fedroad::obs::snapshot();
+
+    // Watchdog: the batch runs on its own thread; a scheduler liveness bug
+    // (a round barrier that never completes) surfaces as a recv timeout,
+    // not a hung test process.
+    let (tx, rx) = mpsc::channel();
+    let batch_thread = std::thread::spawn(move || {
+        let outcome = executor.run(&pairs);
+        tx.send(outcome).ok();
+    });
+
+    // Concurrent traced query on an independent small federation.
+    let (mut small_fed, small_engine) = traced_setup(true);
+    let (traced_result, trace) =
+        small_engine.spsp_traced(&mut small_fed, VertexId(0), VertexId(99));
+
+    let outcome = rx
+        .recv_timeout(Duration::from_secs(300))
+        .expect("batch executor deadlocked (watchdog expired)");
+    batch_thread.join().expect("batch thread exited cleanly");
+    let snap_after = fedroad::obs::snapshot();
+    if !was_enabled {
+        fedroad::obs::disable();
+    }
+
+    // Every query completed with a route.
+    assert_eq!(outcome.results.len(), num_queries);
+    for (i, r) in outcome.results.iter().enumerate() {
+        assert!(r.path.is_some(), "query {i} found no path in a grid city");
+    }
+
+    // Per-query comparison counters sum exactly to the engine-side totals,
+    // and every duel flowed through the round scheduler.
+    let report = outcome.report;
+    let per_query_sum: u64 = outcome
+        .results
+        .iter()
+        .map(|r| r.stats.sac_invocations)
+        .sum();
+    assert_eq!(per_query_sum, report.sac.invocations);
+    assert_eq!(report.scheduler.coalesced_duels, report.sac.invocations);
+    // One merged protocol execution per scheduler round, FEDSAC_ROUNDS each.
+    assert_eq!(
+        report.scheduler.rounds * FEDSAC_ROUNDS,
+        report.sac.net.rounds
+    );
+    assert!(
+        report.scheduler.max_requests_per_round >= 2,
+        "8 workers over {num_queries} queries never merged a round"
+    );
+    assert!(report.scheduler.rounds < report.sac.invocations);
+
+    // The global recorder saw the batch: its counter deltas agree with the
+    // executor's own report even with the traced query interleaved.
+    let counter = |snap: &fedroad::obs::Snapshot, name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    assert_eq!(
+        counter(&snap_after, "executor.queries") - counter(&snap_before, "executor.queries"),
+        num_queries as u64
+    );
+    assert_eq!(
+        counter(&snap_after, "sched.rounds") - counter(&snap_before, "sched.rounds"),
+        report.scheduler.rounds
+    );
+
+    // The concurrent trace is untouched by the executor's event traffic:
+    // capture is per-thread, so its span deltas still sum to its own
+    // engine's accounting exactly.
+    assert!(traced_result.path.is_some());
+    trace.validate().expect("trace valid under concurrency");
+    assert_eq!(
+        trace.totals.sac_invocations,
+        traced_result.stats.sac_invocations
+    );
+    assert_eq!(trace.fedsac_event_totals(), trace.totals);
 }
 
 #[test]
