@@ -1,0 +1,109 @@
+//! `obs-diff` — the bench-regression gate as a CLI.
+//!
+//! ```text
+//! obs-diff <baseline.json> <current.json> [--threshold-pct N] [--warn-only METRIC]...
+//! ```
+//!
+//! Compares two telemetry artifacts of the same schema
+//! (`fedroad.bench-run.v1`, `fedroad.bench-throughput.v1`, or
+//! `fedroad.metrics-snapshot.v1`) and prints every drift past the
+//! threshold. Exit status: `0` when clean or warnings only, `1` on a
+//! hard regression, `2` on usage/IO/schema errors (schema drift between
+//! the files is deliberately an error, not a warning — CI must stop).
+
+use fedroad_bench::obsdiff::{diff, has_failure, DiffOptions, Severity};
+use fedroad_core::jsonio::Value;
+use std::process::ExitCode;
+
+struct Args {
+    baseline: String,
+    current: String,
+    opts: DiffOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut paths = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--threshold-pct" => {
+                let v = argv.next().ok_or("--threshold-pct needs a value")?;
+                opts.threshold_pct = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--threshold-pct: not a number: {v}"))?;
+                if !opts.threshold_pct.is_finite() || opts.threshold_pct < 0.0 {
+                    return Err(format!("--threshold-pct must be >= 0, got {v}"));
+                }
+            }
+            "--warn-only" => {
+                opts.warn_only
+                    .push(argv.next().ok_or("--warn-only needs a metric name")?);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [baseline, current] = <[String; 2]>::try_from(paths)
+        .map_err(|p| format!("expected exactly 2 file arguments, got {}", p.len()))?;
+    Ok(Args {
+        baseline,
+        current,
+        opts,
+    })
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Value::parse(&text).map_err(|e| format!("{path}: parse error: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("obs-diff: {e}");
+            eprintln!(
+                "usage: obs-diff <baseline.json> <current.json> \
+                 [--threshold-pct N] [--warn-only METRIC]..."
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let (base, cur) = match (load(&args.baseline), load(&args.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("obs-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match diff(&base, &cur, &args.opts) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("obs-diff: schema error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        let tag = match f.severity {
+            Severity::Warn => "WARN",
+            Severity::Fail => "FAIL",
+        };
+        println!("{tag} {}", f.message);
+    }
+    if has_failure(&findings) {
+        eprintln!(
+            "obs-diff: regression past {:.0}% threshold ({} vs {})",
+            args.opts.threshold_pct, args.current, args.baseline
+        );
+        ExitCode::from(1)
+    } else {
+        println!(
+            "obs-diff: ok — {} finding(s), none fatal ({} vs {})",
+            findings.len(),
+            args.current,
+            args.baseline
+        );
+        ExitCode::SUCCESS
+    }
+}

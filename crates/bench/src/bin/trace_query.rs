@@ -4,11 +4,16 @@
 //! - `results/trace_spsp_chrome.json` — the same timeline in Chrome
 //!   trace-event format (load in Perfetto or `chrome://tracing`)
 //! - `results/BENCH_run.json` — a versioned, schema-checked run report
+//! - `results/BENCH_metrics.json` — a `fedroad.metrics-snapshot.v1`
+//!   registry snapshot (counters, gauges, histogram quantiles)
+//! - `results/metrics.prom` — the same instruments in Prometheus text
+//!   exposition format v0.0.4
 //!
 //! Every artifact is re-parsed and validated after writing; any failure
 //! exits non-zero, which is what lets CI use this binary as the
 //! observability smoke test.
 
+use fedroad_bench::obsdiff::validate_metrics_snapshot;
 use fedroad_bench::runreport::{validate, QuerySummary, RunReport};
 use fedroad_bench::BENCH_SEED;
 use fedroad_core::jsonio::Value;
@@ -100,6 +105,32 @@ fn run() -> Result<(), String> {
     let doc = Value::parse(&written).map_err(|e| format!("BENCH_run.json invalid: {e}"))?;
     validate(&doc).map_err(|e| format!("BENCH_run.json fails schema: {e}"))?;
     println!("wrote {} (schema ok)", path.display());
+
+    // Live-telemetry snapshot of the same run, re-parsed and checked
+    // against the metrics-snapshot schema the obs-diff gate consumes.
+    let metrics = fedroad_obs::MetricsRegistry::global().snapshot();
+    let metrics_json = metrics.to_json();
+    let doc = Value::parse(&metrics_json).map_err(|e| format!("metrics snapshot invalid: {e}"))?;
+    validate_metrics_snapshot(&doc).map_err(|e| format!("metrics snapshot fails schema: {e}"))?;
+    fs::write("results/BENCH_metrics.json", &metrics_json).map_err(|e| e.to_string())?;
+    println!(
+        "wrote results/BENCH_metrics.json ({} counters, {} gauges, {} histograms, schema ok)",
+        metrics.counters.len(),
+        metrics.gauges.len(),
+        metrics.histograms.len(),
+    );
+
+    // Prometheus exposition of the same snapshot; sanity-checked for the
+    // family markers the golden test pins byte-for-byte.
+    let prom = fedroad_obs::prometheus::render(&metrics);
+    if !prom.contains("# TYPE ") || !prom.contains("_bucket{le=\"+Inf\"}") {
+        return Err("prometheus exposition is missing TYPE lines or +Inf buckets".into());
+    }
+    fs::write("results/metrics.prom", &prom).map_err(|e| e.to_string())?;
+    println!(
+        "wrote results/metrics.prom ({} lines)",
+        prom.lines().count()
+    );
     Ok(())
 }
 

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod obsdiff;
 pub mod report;
 pub mod runreport;
 pub mod setup;

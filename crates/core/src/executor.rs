@@ -380,7 +380,11 @@ impl BatchExecutor {
         let sac_before = self.scheduler.sac_cumulative_stats().unwrap_or_default();
         let sched_before = self.scheduler.stats();
         let start = Instant::now();
-        let obs = fedroad_obs::is_enabled();
+        // `is_active` so the flight recorder sees batch spans even when the
+        // aggregate recorder is off; gauges below gate themselves.
+        let obs = fedroad_obs::is_active();
+        fedroad_obs::gauge_set("executor.workers", self.workers as u64);
+        fedroad_obs::gauge_set("executor.queue_depth", queries.len() as u64);
         if obs {
             fedroad_obs::span_begin(
                 "executor.batch",
@@ -403,7 +407,13 @@ impl BatchExecutor {
                     let Some(&(s, t)) = queries.get(i) else {
                         break;
                     };
+                    // Worker-utilization gauges: claimed-but-unfinished
+                    // queries count as busy; queue depth is what nobody has
+                    // claimed yet. Pure shapes, never values.
+                    fedroad_obs::gauge_sub("executor.queue_depth", 1);
+                    fedroad_obs::gauge_add("executor.busy_workers", 1);
                     let result = self.run_one(s, t);
+                    fedroad_obs::gauge_sub("executor.busy_workers", 1);
                     let mut guard = slots
                         .lock()
                         .unwrap_or_else(|poisoned| poisoned.into_inner());

@@ -1,0 +1,13 @@
+// lint-fixture: crates/mpc/src/fedsac.rs
+//! Known-bad: the live-telemetry gauge API fed share material (rule
+//! `obs-no-secret-args`). Gauges carry plain `u64` levels, so an `as u64`
+//! coercion would publish a share word as a "queue depth" — the same
+//! laundering the counter sinks reject.
+
+pub fn leaky_gauges(rng: &mut Rng) {
+    let share = additive_shares(rng, 2, 7);
+    fedroad_obs::gauge_set("sched.pending_requests", share[0]);
+    fedroad_obs::gauge_add("executor.busy_workers", share[1]);
+    let masked = xor_shares(rng, 2, 9);
+    fedroad_obs::gauge_sub("executor.queue_depth", masked[0]);
+}

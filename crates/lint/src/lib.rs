@@ -24,7 +24,7 @@
 //! | `no-panic-hot-path` | `.unwrap()`/`.expect(`/`panic!` in protocol hot paths without `// lint: panic-ok(...)` |
 //! | `no-secret-branch` | `if`/`match`/`while` conditions and match guards depending on unopened share values |
 //! | `crate-hygiene` | crate roots missing `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` |
-//! | `obs-no-secret-args` | recorder sinks (`record*`/`span*`/`instant`/`counter_add`/`hist_record`) fed share values |
+//! | `obs-no-secret-args` | recorder sinks (`record*`/`span*`/`gauge*`/`instant`/`counter_add`/`hist_record`) fed share values |
 //! | `no-taint-laundering` | share-tainted arguments reaching a print/recorder sink *inside a callee*, any number of hops away (interprocedural summaries) |
 //! | `no-secret-indexing` | share values used as slice indices or loop bounds — a data-dependent memory/timing channel |
 //! | `unused-suppression` | stale `// lint: *-ok` markers that suppress nothing |

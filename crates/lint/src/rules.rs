@@ -757,6 +757,7 @@ fn rule_obs_no_secret_args(
         }
         let is_sink = t.text.starts_with("record")
             || t.text.starts_with("span")
+            || t.text.starts_with("gauge")
             || EXACT_SINKS.contains(&t.text.as_str());
         if !is_sink || !matches!(tokens.get(i + 1), Some(n) if n.text == "(") {
             continue;

@@ -42,9 +42,15 @@ pub(crate) const PRINT_MACROS: [&str; 5] = ["println", "eprintln", "print", "epr
 
 const EXACT_SINKS: [&str; 3] = ["instant", "counter_add", "hist_record"];
 
-/// Call/method names that are recorder sinks (rule R6).
+/// Call/method names that are recorder sinks (rule R6). The `gauge`
+/// prefix covers the live-telemetry gauge API (`gauge_set`/`gauge_add`/
+/// `gauge_sub`); flight-recorder and exposition entry points take no
+/// caller-supplied values, so the recording calls stay the whole surface.
 fn is_sink_name(name: &str) -> bool {
-    name.starts_with("record") || name.starts_with("span") || EXACT_SINKS.contains(&name)
+    name.starts_with("record")
+        || name.starts_with("span")
+        || name.starts_with("gauge")
+        || EXACT_SINKS.contains(&name)
 }
 
 /// Calls whose return value is declassified: the protocol's intentional

@@ -90,6 +90,17 @@ fn bad_obs_trips_obs_no_secret_args() {
 }
 
 #[test]
+fn bad_obs_gauge_trips_obs_no_secret_args() {
+    let findings = fixture("bad_obs_gauge.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "obs-no-secret-args").count(),
+        3,
+        "gauge_set, gauge_add, gauge_sub: {findings:?}"
+    );
+}
+
+#[test]
 fn bad_launder_trips_no_taint_laundering() {
     let findings = fixture("bad_launder.rs");
     let rules = rules_of(&findings);
@@ -184,6 +195,7 @@ fn binary_exit_codes_match() {
         "bad_branch.rs",
         "bad_headers.rs",
         "bad_obs.rs",
+        "bad_obs_gauge.rs",
         "bad_launder.rs",
         "bad_index.rs",
         "bad_stale_marker.rs",

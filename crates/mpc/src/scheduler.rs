@@ -146,6 +146,13 @@ fn lock_state<'a>(m: &'a Mutex<State>) -> MutexGuard<'a, State> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Publishes the scheduler's occupancy levels as obs gauges (queue depth
+/// and live sessions are public shapes; no-ops when the recorder is off).
+fn publish_gauges(st: &State) {
+    fedroad_obs::gauge_set("sched.pending_requests", st.pending.len() as u64);
+    fedroad_obs::gauge_set("sched.active_sessions", st.active as u64);
+}
+
 impl BatchScheduler {
     /// Scheduler executing merged rounds on a lockstep engine.
     pub fn lockstep(engine: SacEngine) -> Self {
@@ -205,6 +212,7 @@ impl BatchScheduler {
         st.active += 1;
         let id = st.next_session;
         st.next_session += 1;
+        publish_gauges(&st);
         SacSession {
             scheduler: self,
             id,
@@ -267,8 +275,10 @@ impl BatchScheduler {
             .flat_map(|r| r.pairs.iter().cloned())
             .collect();
         // Only shape-level quantities reach observability: request/duel
-        // counts, never the partial costs themselves.
-        let obs = fedroad_obs::is_enabled();
+        // counts, never the partial costs themselves. `is_active` (not
+        // `is_enabled`) so the flight recorder captures round spans even
+        // when the aggregate recorder is off.
+        let obs = fedroad_obs::is_active();
         if obs {
             fedroad_obs::span_begin(
                 "sched.round",
@@ -282,10 +292,17 @@ impl BatchScheduler {
             );
         }
         let outcome = self.execute_round(&merged, round_index);
+        if outcome.is_err() {
+            // Black-box dump before the error fans out to the tickets: the
+            // flight rings hold the events leading up to the failure, and
+            // the static reason string keeps the dump redacted.
+            let _ = fedroad_obs::flight::dump_on_error("protocol-error");
+        }
         if obs {
             fedroad_obs::counter_add("sched.rounds", 1);
             fedroad_obs::counter_add("sched.coalesced_requests", requests.len() as u64);
             fedroad_obs::hist_record("sched.batch_width", requests.len() as u64);
+            fedroad_obs::hist_record("sched.duels_per_round", merged.len() as u64);
             fedroad_obs::span_end(
                 "sched.round",
                 &[
@@ -331,6 +348,7 @@ impl BatchScheduler {
             Self::resolve_one(&mut st, req.session);
         }
         st.round_in_flight = false;
+        publish_gauges(&st);
         self.wakeup.notify_all();
         st
     }
@@ -406,6 +424,7 @@ impl SacSession<'_> {
                 if *count == 1 {
                     st.ready += 1;
                 }
+                publish_gauges(&st);
                 // The barrier may have just completed: wake waiters so one
                 // of them can lead the round.
                 sched.wakeup.notify_all();
@@ -419,9 +438,21 @@ impl SacSession<'_> {
     /// waiting (it then executes the merged protocol round itself).
     pub fn wait(&self, ticket: DuelTicket) -> Result<Vec<bool>, ProtocolError> {
         let sched = self.scheduler;
+        // Barrier wait time: from entering `wait` until the result is in
+        // hand (leader execution time included — that *is* what the query
+        // experiences). A pure duration; nothing value-dependent.
+        let obs = fedroad_obs::is_enabled();
+        let waited = obs.then(std::time::Instant::now);
         let mut st = lock_state(&sched.state);
         loop {
             if let Some(result) = st.done.remove(&ticket.0) {
+                drop(st);
+                if let Some(t0) = waited {
+                    fedroad_obs::hist_record(
+                        "sched.barrier_wait_ns",
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                }
                 return result;
             }
             let barrier_complete =
@@ -455,6 +486,7 @@ impl Drop for SacSession<'_> {
         if st.unresolved.remove(&self.id).is_some() {
             st.ready -= 1;
         }
+        publish_gauges(&st);
         // Shrinking the barrier may complete it for the remaining
         // sessions.
         sched.wakeup.notify_all();

@@ -311,6 +311,11 @@ pub fn run_comparisons_with_fault(
         Err(payload) => Some((p, payload.clone())),
         Ok(_) => None,
     }) {
+        // Black-box the events leading up to the crash (no-op unless the
+        // flight recorder is on). The static reason string — not the panic
+        // payload — is all that names the failure, keeping the dump
+        // redacted by construction.
+        let _ = fedroad_obs::flight::dump_on_error("party-panicked");
         return Err(ProtocolError::PartyPanicked { party, payload });
     }
     let mut all: Vec<Vec<bool>> = Vec::with_capacity(num_parties);

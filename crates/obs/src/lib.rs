@@ -8,13 +8,20 @@
 //! [`QueryTrace`] with a phase timeline, and exports to JSONL and Chrome
 //! trace-event JSON (loadable in Perfetto / `chrome://tracing`).
 //!
+//! On top of the recorder sit the *live telemetry* layers added for
+//! serving: a [`MetricsRegistry`] with gauges and bounded-error quantile
+//! views, Prometheus text exposition ([`prometheus::render`]), and an
+//! always-on crash [`flight`] recorder that keeps per-thread rings of the
+//! most recent events and dumps a redacted JSONL black box on panics and
+//! protocol errors.
+//!
 //! Three properties are structural, not conventions:
 //!
 //! * **Near-zero overhead when disabled.** Every entry point first reads
-//!   one relaxed [`AtomicBool`](std::sync::atomic::AtomicBool); no lock is
-//!   taken, no allocation happens, and span guards are inert. An
-//!   integration test pins the disabled overhead to ≤ 5% on a Dijkstra
-//!   microbenchmark.
+//!   one relaxed atomic sink mask; no lock is taken, no allocation
+//!   happens, and span guards are inert. An integration test pins both
+//!   the disabled and the flight-recorder-enabled overhead to ≤ 5% on a
+//!   Dijkstra microbenchmark.
 //! * **Secrets are unrepresentable.** Span and metric payloads are the
 //!   closed [`ObsValue`] enum — counts, byte volumes, durations, public
 //!   ids. Ring elements and share words have no constructor, and event
@@ -35,13 +42,21 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
+pub mod metrics;
+pub mod prometheus;
 pub mod recorder;
 pub mod trace;
 
 pub use export::{to_chrome_json, to_jsonl, validate_nesting};
+pub use metrics::{
+    quantile, HistogramView, MetricsExporter, MetricsRegistry, MetricsSnapshot, QuantileView,
+    METRICS_SCHEMA, QUANTILE_MAX_RELATIVE_ERROR,
+};
 pub use recorder::{
-    counter_add, counter_value, current_tid, disable, enable, events_since, hist_record, instant,
-    is_enabled, mark, now_ns, reset, snapshot, span, span_begin, span_end, thread_events_since,
-    EventKind, HistBucket, ObsValue, Snapshot, SpanGuard, TraceEvent,
+    counter_add, counter_value, current_tid, disable, enable, events_since, gauge_add, gauge_set,
+    gauge_sub, gauge_value, hist_record, instant, is_active, is_enabled, mark, now_ns, reset,
+    snapshot, span, span_begin, span_end, thread_events_since, EventKind, HistBucket, ObsValue,
+    Snapshot, SpanGuard, TraceEvent,
 };
 pub use trace::{QueryTotals, QueryTrace};

@@ -1,0 +1,205 @@
+//! Prometheus text exposition format v0.0.4, hand-rolled (this crate is
+//! dependency-free by charter, like the lint crate's SARIF writer).
+//!
+//! [`render`] turns a [`MetricsSnapshot`] into the canonical text format:
+//!
+//! * counters become `<name>_total` with `# HELP` / `# TYPE ... counter`;
+//! * gauges keep their name with `# TYPE ... gauge`;
+//! * log2 histograms become the full `_bucket{le="..."}` / `_sum` /
+//!   `_count` triple with *cumulative* bucket counts. Bucket `b` of the
+//!   recorder covers integer values `[2^(b-1), 2^b)`, so its exact upper
+//!   bound is `le = 2^b − 1` (bucket 0, the zeros, gets `le="0"`); a final
+//!   `+Inf` bucket always equals `_count` as the format requires;
+//! * each histogram additionally exposes `_p50`/`_p90`/`_p95`/`_p99`
+//!   gauges from the registry's quantile view (estimates with relative
+//!   error ≤ √2 − 1; see [`crate::metrics`]). They are separate gauge
+//!   families rather than a `summary` so the histogram family keeps its
+//!   name without a type collision.
+//!
+//! Metric names are `fedroad_` + the dotted obs name with `.`/`-` mapped
+//! to `_`. Output is deterministic — families sorted by name, no
+//! timestamps — so tests can compare byte-for-byte golden files.
+
+use crate::metrics::{HistogramView, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Maps a dotted obs metric name (`sched.barrier_wait_ns`) to a
+/// Prometheus metric name (`fedroad_sched_barrier_wait_ns`). Any
+/// character outside `[a-zA-Z0-9_:]` becomes `_`.
+pub fn metric_name(obs_name: &str) -> String {
+    let mut out = String::with_capacity(obs_name.len() + 8);
+    out.push_str("fedroad_");
+    for c in obs_name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label *value* per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a `# HELP` text: backslash and newline only (quotes are legal
+/// there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, h: &HistogramView) {
+    let name = metric_name(&h.name);
+    let _ = writeln!(
+        out,
+        "# HELP {name} Log2 histogram of obs metric {}.",
+        escape_help(&h.name)
+    );
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for b in &h.buckets {
+        cumulative += b.count;
+        // Exact integer upper bound of [2^(b-1), 2^b): le = 2^b − 1.
+        let le = if b.bucket == 0 {
+            0
+        } else {
+            (1u128 << b.bucket) - 1
+        };
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            escape_label_value(&le.to_string())
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+    for (q, v) in [
+        ("p50", h.quantiles.p50),
+        ("p90", h.quantiles.p90),
+        ("p95", h.quantiles.p95),
+        ("p99", h.quantiles.p99),
+    ] {
+        let _ = writeln!(
+            out,
+            "# HELP {name}_{q} Estimated {q} of {} (relative error <= 41.5%).",
+            escape_help(&h.name)
+        );
+        let _ = writeln!(out, "# TYPE {name}_{q} gauge");
+        let _ = writeln!(out, "{name}_{q} {v}");
+    }
+}
+
+/// Renders a snapshot in Prometheus text exposition format v0.0.4.
+///
+/// Deterministic: families appear counters → gauges → histograms, each
+/// group name-sorted (the snapshot's vectors already are), and no line
+/// carries a timestamp.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (obs_name, value) in &snap.counters {
+        let name = metric_name(obs_name);
+        let _ = writeln!(
+            out,
+            "# HELP {name}_total Monotonic obs counter {}.",
+            escape_help(obs_name)
+        );
+        let _ = writeln!(out, "# TYPE {name}_total counter");
+        let _ = writeln!(out, "{name}_total {value}");
+    }
+    for (obs_name, value) in &snap.gauges {
+        let name = metric_name(obs_name);
+        let _ = writeln!(
+            out,
+            "# HELP {name} Point-in-time obs gauge {}.",
+            escape_help(obs_name)
+        );
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for h in &snap.histograms {
+        render_histogram(&mut out, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricsSnapshot, QuantileView};
+    use crate::recorder::HistBucket;
+
+    #[test]
+    fn metric_names_are_prefixed_and_sanitized() {
+        assert_eq!(
+            metric_name("sched.batch_width"),
+            "fedroad_sched_batch_width"
+        );
+        assert_eq!(metric_name("a-b c"), "fedroad_a_b_c");
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_newline() {
+        assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let snap = MetricsSnapshot {
+            at_ns: 0,
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![HistogramView {
+                name: "w".into(),
+                buckets: vec![
+                    HistBucket {
+                        bucket: 0,
+                        floor: 0,
+                        count: 2,
+                    },
+                    HistBucket {
+                        bucket: 3,
+                        floor: 4,
+                        count: 3,
+                    },
+                ],
+                count: 5,
+                sum: 18,
+                quantiles: QuantileView {
+                    p50: 5,
+                    p90: 5,
+                    p95: 5,
+                    p99: 5,
+                },
+            }],
+        };
+        let text = render(&snap);
+        assert!(text.contains("fedroad_w_bucket{le=\"0\"} 2\n"));
+        assert!(text.contains("fedroad_w_bucket{le=\"7\"} 5\n"));
+        assert!(text.contains("fedroad_w_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("fedroad_w_sum 18\n"));
+        assert!(text.contains("fedroad_w_count 5\n"));
+        assert!(text.contains("fedroad_w_p99 5\n"));
+    }
+}

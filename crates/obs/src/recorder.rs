@@ -1,13 +1,16 @@
-//! The global recorder: spans, monotonic counters, log2 histograms.
+//! The global recorder: spans, monotonic counters, gauges, log2
+//! histograms.
 //!
-//! All state lives behind one [`Mutex`] guarded by a relaxed
-//! [`AtomicBool`] fast path, so a disabled recorder costs one atomic load
-//! per call site. Timestamps are nanoseconds since a process-wide anchor
-//! (`Instant`-based, monotonic); thread ids are small per-process indices
-//! so Chrome-trace nesting validates per thread.
+//! All state lives behind one [`Mutex`] guarded by a relaxed atomic
+//! sink-mask fast path, so a fully disabled recorder costs one atomic load
+//! per call site. Timeline events fan out to up to two sinks — the
+//! aggregate recorder and the [`crate::flight`] ring buffers — selected by
+//! independent bits of the mask. Timestamps are nanoseconds since a
+//! process-wide anchor (`Instant`-based, monotonic); thread ids are small
+//! per-process indices so Chrome-trace nesting validates per thread.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -87,20 +90,49 @@ pub struct HistBucket {
 pub struct Snapshot {
     /// Monotonic counters, name-sorted.
     pub counters: Vec<(String, u64)>,
+    /// Point-in-time gauges, name-sorted.
+    pub gauges: Vec<(String, u64)>,
     /// Log2 histograms, name-sorted, non-empty buckets only.
     pub histograms: Vec<(String, Vec<HistBucket>)>,
+    /// Raw value sums per histogram, aligned name-for-name with
+    /// [`Snapshot::histograms`] (Prometheus `_sum` / mean estimation).
+    pub histogram_sums: Vec<(String, u64)>,
     /// Timeline events recorded so far.
     pub num_events: usize,
+}
+
+/// Aggregate state of one log2 histogram: per-bucket counts plus the raw
+/// sum, which is what Prometheus `_sum` exposition and mean estimation
+/// need (bucket counts alone lose it).
+#[derive(Clone, Copy)]
+struct HistState {
+    buckets: [u64; 65],
+    sum: u64,
+}
+
+impl Default for HistState {
+    fn default() -> Self {
+        HistState {
+            buckets: [0; 65],
+            sum: 0,
+        }
+    }
 }
 
 #[derive(Default)]
 struct State {
     events: Vec<TraceEvent>,
     counters: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, [u64; 65]>,
+    gauges: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, HistState>,
 }
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit of the sink mask enabling the aggregate recorder.
+const SINK_RECORDER: u8 = 1;
+/// Bit of the sink mask enabling the flight-recorder ring buffers.
+pub(crate) const SINK_FLIGHT: u8 = 2;
+
+static SINKS: AtomicU8 = AtomicU8::new(0);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
@@ -136,26 +168,52 @@ pub fn current_tid() -> u64 {
 pub fn enable() {
     // Pin the time anchor no later than the first enable.
     let _ = anchor();
-    ENABLED.store(true, Ordering::Relaxed);
+    SINKS.fetch_or(SINK_RECORDER, Ordering::Relaxed);
 }
 
 /// Turns recording off (the fast path at every call site).
 pub fn disable() {
-    ENABLED.store(false, Ordering::Relaxed);
+    SINKS.fetch_and(!SINK_RECORDER, Ordering::Relaxed);
 }
 
-/// Whether the recorder is currently on.
+/// Whether the aggregate recorder is currently on.
 #[inline]
 pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    SINKS.load(Ordering::Relaxed) & SINK_RECORDER != 0
 }
 
-/// Clears all recorded events, counters, and histograms (the enabled flag
-/// is left as-is).
+/// Whether *any* event sink (aggregate recorder or flight recorder) is on
+/// — the guard call sites use before assembling event payloads.
+#[inline]
+pub fn is_active() -> bool {
+    SINKS.load(Ordering::Relaxed) != 0
+}
+
+/// Whether the flight-recorder sink bit is set (the public query lives on
+/// [`crate::flight::is_enabled`]).
+#[inline]
+pub(crate) fn is_flight_enabled() -> bool {
+    SINKS.load(Ordering::Relaxed) & SINK_FLIGHT != 0
+}
+
+/// Flips the flight-recorder bit of the sink mask (driven by
+/// [`crate::flight::enable`]/[`crate::flight::disable`]).
+pub(crate) fn set_flight_sink(on: bool) {
+    if on {
+        let _ = anchor();
+        SINKS.fetch_or(SINK_FLIGHT, Ordering::Relaxed);
+    } else {
+        SINKS.fetch_and(!SINK_FLIGHT, Ordering::Relaxed);
+    }
+}
+
+/// Clears all recorded events, counters, gauges, and histograms (the
+/// enabled flag is left as-is).
 pub fn reset() {
     let mut s = state();
     s.events.clear();
     s.counters.clear();
+    s.gauges.clear();
     s.histograms.clear();
 }
 
@@ -173,19 +231,62 @@ pub fn counter_value(name: &str) -> u64 {
     state().counters.get(name).copied().unwrap_or(0)
 }
 
+/// Sets the gauge `name` to `value` (no-op when disabled). Gauges are
+/// point-in-time levels — queue depths, in-flight queries, busy workers —
+/// as opposed to the monotonic counters.
+#[inline]
+pub fn gauge_set(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    state().gauges.insert(name, value);
+}
+
+/// Adds `delta` to the gauge `name` (no-op when disabled).
+#[inline]
+pub fn gauge_add(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    *state().gauges.entry(name).or_insert(0) += delta;
+}
+
+/// Subtracts `delta` from the gauge `name`, saturating at zero (no-op when
+/// disabled). Saturation keeps a missed increment (e.g. a panicking
+/// worker) from wrapping the level to 2⁶⁴.
+#[inline]
+pub fn gauge_sub(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut s = state();
+    let slot = s.gauges.entry(name).or_insert(0);
+    *slot = slot.saturating_sub(delta);
+}
+
+/// Current value of gauge `name` (0 if never touched).
+pub fn gauge_value(name: &str) -> u64 {
+    state().gauges.get(name).copied().unwrap_or(0)
+}
+
 /// Records `value` into the log2 histogram `name` (no-op when disabled).
 /// Bucket index is the bit length of `value`, so bucket `b` covers
-/// `[2^(b-1), 2^b)` and bucket 0 holds zeros.
+/// `[2^(b-1), 2^b)` and bucket 0 holds zeros. The raw sum is tracked
+/// alongside the bucket counts (Prometheus `_sum`).
 #[inline]
 pub fn hist_record(name: &'static str, value: u64) {
     if !is_enabled() {
         return;
     }
     let bucket = (64 - value.leading_zeros()) as usize;
-    state().histograms.entry(name).or_insert([0; 65])[bucket] += 1;
+    let mut s = state();
+    let h = s.histograms.entry(name).or_default();
+    h.buckets[bucket] += 1;
+    h.sum = h.sum.saturating_add(value);
 }
 
 fn push_event(kind: EventKind, name: &'static str, args: &[(&'static str, ObsValue)]) {
+    let mask = SINKS.load(Ordering::Relaxed);
     let ev = TraceEvent {
         ts_ns: now_ns(),
         tid: current_tid(),
@@ -193,13 +294,18 @@ fn push_event(kind: EventKind, name: &'static str, args: &[(&'static str, ObsVal
         name,
         args: args.to_vec(),
     };
-    state().events.push(ev);
+    if mask & SINK_FLIGHT != 0 {
+        crate::flight::record(&ev);
+    }
+    if mask & SINK_RECORDER != 0 {
+        state().events.push(ev);
+    }
 }
 
 /// Records a point event (no-op when disabled).
 #[inline]
 pub fn instant(name: &'static str, args: &[(&'static str, ObsValue)]) {
-    if !is_enabled() {
+    if !is_active() {
         return;
     }
     push_event(EventKind::Instant, name, args);
@@ -209,7 +315,7 @@ pub fn instant(name: &'static str, args: &[(&'static str, ObsValue)]) {
 /// same thread; prefer [`span`] where scope-based closing works.
 #[inline]
 pub fn span_begin(name: &'static str, args: &[(&'static str, ObsValue)]) {
-    if !is_enabled() {
+    if !is_active() {
         return;
     }
     push_event(EventKind::Begin, name, args);
@@ -220,7 +326,7 @@ pub fn span_begin(name: &'static str, args: &[(&'static str, ObsValue)]) {
 /// round/byte deltas).
 #[inline]
 pub fn span_end(name: &'static str, args: &[(&'static str, ObsValue)]) {
-    if !is_enabled() {
+    if !is_active() {
         return;
     }
     push_event(EventKind::End, name, args);
@@ -244,7 +350,7 @@ impl Drop for SpanGuard {
 /// Opens an RAII span (no-op guard when disabled).
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
-    if !is_enabled() {
+    if !is_active() {
         return SpanGuard { name: None };
     }
     span_begin(name, &[]);
@@ -287,11 +393,17 @@ pub fn snapshot() -> Snapshot {
             .iter()
             .map(|(name, v)| (name.to_string(), *v))
             .collect(),
+        gauges: s
+            .gauges
+            .iter()
+            .map(|(name, v)| (name.to_string(), *v))
+            .collect(),
         histograms: s
             .histograms
             .iter()
-            .map(|(name, buckets)| {
-                let nonzero = buckets
+            .map(|(name, h)| {
+                let nonzero = h
+                    .buckets
                     .iter()
                     .enumerate()
                     .filter(|(_, c)| **c > 0)
@@ -304,12 +416,17 @@ pub fn snapshot() -> Snapshot {
                 (name.to_string(), nonzero)
             })
             .collect(),
+        histogram_sums: s
+            .histograms
+            .iter()
+            .map(|(name, h)| (name.to_string(), h.sum))
+            .collect(),
         num_events: s.events.len(),
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     /// Serializes tests touching the global recorder.
@@ -329,14 +446,53 @@ mod tests {
         with_recorder_lock(|| {
             counter_add("c", 5);
             hist_record("h", 9);
+            gauge_set("g", 7);
+            gauge_add("g", 2);
             instant("i", &[]);
             let _s = span("s");
             drop(_s);
             assert_eq!(counter_value("c"), 0);
+            assert_eq!(gauge_value("g"), 0);
             let snap = snapshot();
             assert!(snap.counters.is_empty());
+            assert!(snap.gauges.is_empty());
             assert!(snap.histograms.is_empty());
+            assert!(snap.histogram_sums.is_empty());
             assert_eq!(snap.num_events, 0);
+        });
+    }
+
+    #[test]
+    fn gauges_set_add_and_saturate_on_sub() {
+        with_recorder_lock(|| {
+            enable();
+            gauge_set("sched.pending", 4);
+            gauge_add("sched.pending", 3);
+            gauge_sub("sched.pending", 2);
+            assert_eq!(gauge_value("sched.pending"), 5);
+            gauge_sub("sched.pending", 100);
+            assert_eq!(gauge_value("sched.pending"), 0);
+            gauge_add("executor.busy", 1);
+            let snap = snapshot();
+            assert_eq!(
+                snap.gauges,
+                vec![
+                    ("executor.busy".to_string(), 1),
+                    ("sched.pending".to_string(), 0),
+                ]
+            );
+        });
+    }
+
+    #[test]
+    fn histogram_sums_track_raw_values() {
+        with_recorder_lock(|| {
+            enable();
+            hist_record("width", 3);
+            hist_record("width", 5);
+            hist_record("width", 0);
+            let snap = snapshot();
+            assert_eq!(snap.histogram_sums, vec![("width".to_string(), 8)]);
         });
     }
 

@@ -1,0 +1,33 @@
+//! Golden-file test of the Prometheus text exposition: drive the real
+//! recorder end-to-end (counters, gauges, histograms), render through the
+//! registry, and require byte-for-byte equality with the committed golden
+//! file. The format has no timestamps and sorts families by name, so the
+//! rendering is fully deterministic.
+
+use fedroad_obs as obs;
+
+const GOLDEN: &str = include_str!("golden/metrics.prom");
+
+#[test]
+fn exposition_matches_golden_file_byte_for_byte() {
+    obs::reset();
+    obs::enable();
+    obs::counter_add("fedsac.invocations", 12);
+    obs::counter_add("net.bytes_sent", 4096);
+    obs::gauge_set("executor.busy_workers", 3);
+    obs::gauge_set("sched.pending_requests", 7);
+    // Histogram spanning the zero bucket, bucket 3 ([4,8)), bucket 7
+    // ([64,128)): exercises cumulative counts, le bounds, sum, count, and
+    // quantile gauges in one family.
+    obs::hist_record("sched.batch_width", 0);
+    obs::hist_record("sched.batch_width", 5);
+    obs::hist_record("sched.batch_width", 6);
+    obs::hist_record("sched.batch_width", 100);
+    let rendered = obs::MetricsRegistry::global().render_prometheus();
+    obs::disable();
+    obs::reset();
+    assert!(
+        rendered == GOLDEN,
+        "exposition drifted from the golden file.\n--- rendered ---\n{rendered}\n--- golden ---\n{GOLDEN}"
+    );
+}

@@ -1,9 +1,21 @@
 #!/usr/bin/env bash
 # Full local verification gate — what CI runs. Fails fast.
 #
-#   scripts/check.sh
+#   scripts/check.sh          # everything, including bench emission + obs-diff
+#   scripts/check.sh --fast   # skip the bench runs and the regression gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *)
+      echo "usage: scripts/check.sh [--fast]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "==> no build artifacts tracked in git"
 if git ls-files | grep -q '^target/'; then
@@ -27,6 +39,12 @@ if cargo run -q -p fedroad-lint crates/lint/fixtures/bad_obs.rs >/dev/null 2>&1;
   exit 1
 fi
 
+echo "==> fedroad-lint flags the gauge leak fixture (negative check)"
+if cargo run -q -p fedroad-lint crates/lint/fixtures/bad_obs_gauge.rs >/dev/null 2>&1; then
+  echo "error: the linter passed a fixture with gauge-sink share leaks" >&2
+  exit 1
+fi
+
 echo "==> fedroad-lint flags the taint-laundering fixture (negative check)"
 if cargo run -q -p fedroad-lint crates/lint/fixtures/bad_launder.rs >/dev/null 2>&1; then
   echo "error: the linter passed a fixture with interprocedural leaks" >&2
@@ -39,8 +57,26 @@ cargo run -q -p fedroad-lint -- --differential
 echo "==> cargo test -q"
 cargo test -q
 
+if [ "$FAST" = 1 ]; then
+  echo "==> --fast: skipping bench emission and the obs-diff regression gate"
+  echo "==> all checks passed (fast)"
+  exit 0
+fi
+
 echo "==> instrumented example query + artifact validation"
 cargo run -q --release -p fedroad-bench --bin trace_query
+
+echo "==> throughput sweep (quick)"
+cargo run -q --release -p fedroad-bench --bin throughput -- --quick >/dev/null
+
+echo "==> obs-diff regression gate vs committed baselines"
+# Counter-style metrics are deterministic and hard-fail past the threshold;
+# wall-clock and modeled-throughput rows are machine-dependent, so obs-diff
+# already treats them as warn-only. Schema drift is a hard error (exit 2).
+cargo run -q --release -p fedroad-bench --bin obs_diff -- \
+  BENCH_run.json results/BENCH_run.json
+cargo run -q --release -p fedroad-bench --bin obs_diff -- \
+  BENCH_throughput.json results/BENCH_throughput.json
 
 # Concurrency checks for the threaded protocol runner, the cross-query round
 # scheduler, and the batch executor. ThreadSanitizer needs a nightly toolchain

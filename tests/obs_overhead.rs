@@ -1,8 +1,11 @@
-//! Disabled-recorder overhead budget: instrumented Dijkstra must stay
-//! within 5% of an identical uninstrumented copy when recording is off.
+//! Recorder overhead budgets on the Dijkstra microbench: instrumented
+//! Dijkstra must stay within 5% of an identical uninstrumented copy both
+//! with recording fully off and with only the flight recorder on (the
+//! always-on crash telemetry must be cheap enough to leave enabled).
 //!
 //! This file is its own test binary (own process), so no other test can
-//! enable the global recorder underneath the measurement.
+//! enable the global recorder underneath the measurement; the tests in
+//! here serialize on [`GATE`] for the same reason.
 
 use fedroad::graph::{Graph, Weight, INFINITY};
 use fedroad::{grid_city, GridCityParams, VertexId};
@@ -43,12 +46,15 @@ fn time_of(mut f: impl FnMut() -> u64) -> Duration {
     elapsed
 }
 
-#[test]
-fn disabled_recorder_overhead_is_within_five_percent() {
-    assert!(
-        !fedroad::obs::is_enabled(),
-        "this binary must own a recorder-free process"
-    );
+/// Serializes the overhead measurements: both tests read global recorder
+/// state, so letting them interleave would corrupt each other's timing.
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs the interleaved min-of-`rounds` measurement of plain vs
+/// instrumented Dijkstra and asserts the 5% budget (plus 100µs of timer
+/// granularity slack — the budget that matters is relative; the absolute
+/// term only keeps sub-millisecond runs from flaking on quantization).
+fn assert_overhead_within_budget(mode: &str) {
     let g = grid_city(&GridCityParams::with_target_vertices(2500), 3);
     let w = g.static_weights();
     let src = VertexId(0);
@@ -80,13 +86,43 @@ fn disabled_recorder_overhead_is_within_five_percent() {
         best_instr = best_instr.min(t);
     }
 
-    // 5% relative budget plus 100µs of timer/allocator granularity slack
-    // (the budget that matters is relative; the absolute term only keeps
-    // sub-millisecond runs from flaking on clock quantization).
-    let budget = best_plain + best_plain / 20 + Duration::from_micros(100);
+    // The 5% pin is a release-build contract: unoptimized builds don't
+    // inline the atomic fast path, so debug runs get a loose 35% sanity
+    // bound instead of flaking (the gate that matters runs `--release`).
+    let relative = if cfg!(debug_assertions) {
+        best_plain * 35 / 100
+    } else {
+        best_plain / 20
+    };
+    let budget = best_plain + relative + Duration::from_micros(100);
     assert!(
         best_instr <= budget,
-        "instrumented Dijkstra too slow with recording disabled: \
+        "instrumented Dijkstra too slow with {mode}: \
          baseline {best_plain:?}, instrumented {best_instr:?}, budget {budget:?}"
     );
+}
+
+#[test]
+fn disabled_recorder_overhead_is_within_five_percent() {
+    let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+    assert!(
+        !fedroad::obs::is_active(),
+        "this measurement must run with every sink off"
+    );
+    assert_overhead_within_budget("recording disabled");
+}
+
+#[test]
+fn flight_recorder_overhead_is_within_five_percent() {
+    let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+    // Flight sink on, aggregate recorder off — the always-on crash
+    // telemetry configuration a serving process would run with.
+    fedroad::obs::flight::enable(None);
+    assert!(fedroad::obs::flight::is_enabled());
+    assert!(
+        !fedroad::obs::is_enabled(),
+        "aggregate recorder must stay off for this measurement"
+    );
+    assert_overhead_within_budget("flight recorder enabled");
+    fedroad::obs::flight::disable();
 }
