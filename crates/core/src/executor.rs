@@ -403,6 +403,7 @@ impl BatchExecutor {
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
                 scope.spawn(|| loop {
+                    // lint: lock-ok(the cursor only hands out indices; results are published through the slots mutex and the scope join)
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(s, t)) = queries.get(i) else {
                         break;

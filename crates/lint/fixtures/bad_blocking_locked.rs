@@ -1,0 +1,24 @@
+// lint-fixture: crates/mpc/src/lockwork.rs
+//! Bad: a channel `recv` while the scheduler state guard is held —
+//! rule R11 `no-blocking-while-locked`. Every other thread that needs
+//! the state mutex stalls until a message happens to arrive.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+/// A round pump holding shared state and an inbound message channel.
+pub struct RoundPump {
+    state: Mutex<Vec<u64>>,
+    rx: Receiver<u64>,
+}
+
+impl RoundPump {
+    /// Appends the next inbound word — but blocks on the channel with
+    /// the state guard still held.
+    pub fn pump(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        let word = self.rx.recv().unwrap();
+        st.push(word);
+        st.len()
+    }
+}

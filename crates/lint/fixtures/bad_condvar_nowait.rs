@@ -1,0 +1,28 @@
+// lint-fixture: crates/mpc/src/lockwork.rs
+//! Bad: a `Condvar::wait` whose result is used without re-checking the
+//! predicate under a loop — rule R12 `condvar-wait-in-loop`. Wakeups
+//! are spurious and racy: a single wait proves nothing about `ready`.
+
+use std::sync::{Condvar, Mutex};
+
+/// Round-ready flag plus its wakeup channel.
+pub struct ReadyGate {
+    state: Mutex<GateState>,
+    wakeup: Condvar,
+}
+
+/// The mutex-protected half of the gate.
+pub struct GateState {
+    ready: bool,
+    round: u64,
+}
+
+impl ReadyGate {
+    /// Returns the round number after one wakeup — which may be
+    /// spurious, with `ready` still false.
+    pub fn next_round(&self) -> u64 {
+        let mut st = self.state.lock().unwrap();
+        st = self.wakeup.wait(st).unwrap();
+        st.round
+    }
+}

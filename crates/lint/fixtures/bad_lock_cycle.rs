@@ -1,0 +1,33 @@
+// lint-fixture: crates/mpc/src/lockwork.rs
+//! Bad: two round workers take the same pair of locks in opposite
+//! orders — rule R10 `lock-order-cycle` must flag both inner
+//! acquisitions (interleave the two functions and each holds what the
+//! other wants).
+
+use std::sync::Mutex;
+
+/// Barrier state split across two mutexes (a deliberately bad design).
+pub struct RoundState {
+    pending: Mutex<Vec<u64>>,
+    done: Mutex<Vec<u64>>,
+}
+
+impl RoundState {
+    /// Moves one request from pending to done: pending before done.
+    pub fn advance(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        let mut done = self.done.lock().unwrap();
+        if let Some(r) = pending.pop() {
+            done.push(r);
+        }
+    }
+
+    /// Requeues one result: done before pending — the opposite order.
+    pub fn requeue(&self) {
+        let mut done = self.done.lock().unwrap();
+        let mut pending = self.pending.lock().unwrap();
+        if let Some(r) = done.pop() {
+            pending.push(r);
+        }
+    }
+}

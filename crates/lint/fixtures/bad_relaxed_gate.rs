@@ -1,0 +1,22 @@
+// lint-fixture: crates/mpc/src/lockwork.rs
+//! Bad: a readiness gate flipped with `Ordering::Relaxed` right after
+//! the plain write it is supposed to publish — rule R13
+//! `atomic-gate-ordering`. A reader that sees `ready == true` may still
+//! read the old `round` value: Relaxed orders nothing but the flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::Cell;
+
+/// A one-slot publication cell with a broken gate.
+pub struct RoundCell {
+    round: Cell<u64>,
+    ready: AtomicBool,
+}
+
+impl RoundCell {
+    /// Stores the round then flips the gate — without Release.
+    pub fn publish(&self, round: u64) {
+        self.round.set(round);
+        self.ready.store(true, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,70 @@
+// lint-fixture: crates/mpc/src/lockwork.rs
+//! Good: the BatchScheduler's locking idiom, distilled — R10–R13 must
+//! all stay silent. One global lock order, guards dropped before any
+//! blocking call, Condvar waits re-checked under a `while`, and the
+//! publication gate flipped with Release.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Scheduler-shaped state: a barrier mutex, its wakeup Condvar, an
+/// outbound channel, and a pair of ordered locks.
+pub struct Idiom {
+    state: Mutex<IdiomState>,
+    wakeup: Condvar,
+    tx: Sender<u64>,
+    left: Mutex<Vec<u64>>,
+    right: Mutex<Vec<u64>>,
+    published: AtomicBool,
+}
+
+/// The mutex-protected barrier state.
+pub struct IdiomState {
+    ready: bool,
+    round: u64,
+}
+
+/// Poison-recovering lock helper (the scheduler's `lock_state`).
+fn lock_idiom(m: &Mutex<IdiomState>) -> MutexGuard<'_, IdiomState> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Idiom {
+    /// Waits for readiness under a loop, then sends with no guard held.
+    pub fn await_and_send(&self) -> u64 {
+        let mut st = lock_idiom(&self.state);
+        while !st.ready {
+            st = self.wakeup.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        let round = st.round;
+        drop(st);
+        self.tx.send(round).unwrap_or(());
+        round
+    }
+
+    /// Takes both locks in the one global order: left, then right.
+    pub fn drain(&self) -> usize {
+        let mut left = self.left.lock().unwrap();
+        let mut right = self.right.lock().unwrap();
+        right.append(&mut left);
+        right.len()
+    }
+
+    /// Same order from a second entry point — no cycle.
+    pub fn merge(&self, extra: u64) {
+        let mut left = self.left.lock().unwrap();
+        left.push(extra);
+        let mut right = self.right.lock().unwrap();
+        right.push(extra);
+    }
+
+    /// Publishes a round with a Release gate (readers load Acquire).
+    pub fn publish(&self) {
+        let st = lock_idiom(&self.state);
+        let round = st.round;
+        drop(st);
+        self.tx.send(round).unwrap_or(());
+        self.published.store(true, Ordering::Release);
+    }
+}

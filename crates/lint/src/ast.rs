@@ -52,6 +52,12 @@ pub struct FnItem {
     pub name: String,
     /// One pattern per parameter (`self` included, as a binding of `self`).
     pub params: Vec<Pat>,
+    /// Per-parameter type annotation, reduced to its identifier tokens
+    /// (`st: MutexGuard<'a, State>` → `["MutexGuard", "State"]`; `self`
+    /// and untyped closure-style params get an empty list). Enough for
+    /// the lock engine to recognise guard/lock-typed parameters without
+    /// a real type grammar.
+    pub param_types: Vec<Vec<String>>,
     /// The body, when present.
     pub body: Option<Block>,
 }
@@ -162,6 +168,8 @@ pub enum Expr {
     Field {
         /// The base expression.
         base: Box<Expr>,
+        /// The field name (or tuple index digits, or `await`).
+        name: String,
         /// 1-based line.
         line: usize,
     },
@@ -764,6 +772,7 @@ impl<'a> Parser<'a> {
             }
         }
         let mut params = Vec::new();
+        let mut param_types = Vec::new();
         if self.eat("(") {
             while !self.done() && !self.at(")") {
                 // One parameter: pattern tokens up to `:` (or `,`/`)`).
@@ -785,7 +794,17 @@ impl<'a> Parser<'a> {
                 params.push(pat);
                 if self.at(":") {
                     self.bump();
+                    let ty_start = self.i;
                     self.skip_type_until(&[",", ")"]);
+                    param_types.push(
+                        self.t[ty_start..self.i]
+                            .iter()
+                            .filter(|t| t.kind == TokenKind::Ident)
+                            .map(|t| t.text.clone())
+                            .collect(),
+                    );
+                } else {
+                    param_types.push(Vec::new());
                 }
                 self.eat(",");
             }
@@ -805,7 +824,12 @@ impl<'a> Parser<'a> {
             self.eat(";");
             None
         };
-        FnItem { name, params, body }
+        FnItem {
+            name,
+            params,
+            param_types,
+            body,
+        }
     }
 
     // ----- statements ------------------------------------------------
@@ -1114,13 +1138,16 @@ impl<'a> Parser<'a> {
                     } else {
                         e = Expr::Field {
                             base: Box::new(e),
+                            name,
                             line,
                         };
                     }
                 } else if self.peek_kind() == Some(TokenKind::Num) {
+                    let name = self.peek(0).to_string();
                     self.bump();
                     e = Expr::Field {
                         base: Box::new(e),
+                        name,
                         line,
                     };
                 } else {
@@ -1646,6 +1673,34 @@ mod tests {
         assert_eq!(f.params[0].bindings, vec!["x"]);
         assert_eq!(f.params[1].bindings, vec!["a", "b"]);
         assert_eq!(f.params[2].bindings, vec!["self"]);
+    }
+
+    #[test]
+    fn param_types_capture_identifier_tokens() {
+        let f = parse_src(
+            "fn fire<'a>(&'a self, mut st: MutexGuard<'a, State>, n: usize) -> MutexGuard<'a, State> {}",
+        );
+        let f = first_fn(&f);
+        assert_eq!(f.params.len(), 3);
+        assert!(f.param_types[0].is_empty(), "self has no annotation");
+        assert_eq!(f.param_types[1], vec!["MutexGuard", "State"]);
+        assert_eq!(f.param_types[2], vec!["usize"]);
+    }
+
+    #[test]
+    fn field_accesses_carry_their_name() {
+        let file = parse_src("fn f(s: S) { let a = s.done; let b = pair.0; }");
+        let f = first_fn(&file);
+        let body = f.body.as_ref().expect("body");
+        let field_name = |s: &Stmt| match s {
+            Stmt::Let {
+                init: Some(Expr::Field { name, .. }),
+                ..
+            } => name.clone(),
+            s => panic!("expected field init, got {s:?}"),
+        };
+        assert_eq!(field_name(&body.stmts[0]), "done");
+        assert_eq!(field_name(&body.stmts[1]), "0");
     }
 
     #[test]

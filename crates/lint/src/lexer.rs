@@ -36,7 +36,7 @@ pub struct Token {
     pub line: usize,
 }
 
-/// The three escape hatches rules recognise.
+/// The four escape hatches rules recognise.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MarkerKind {
     /// `// lint: debug-ok(<reason>)` — permits a Debug/Display impl.
@@ -47,6 +47,11 @@ pub enum MarkerKind {
     /// (or just below) this line: the protocol intentionally reveals the
     /// bound value, so the taint engine treats it as public from here on.
     PublicOk,
+    /// `// lint: lock-ok(<reason>)` — suppresses a concurrency finding
+    /// (R10–R13) on or just below this line: the flagged pattern is
+    /// justified (e.g. a `Relaxed` atomic whose data is published through
+    /// a lock or a `join()` edge instead).
+    LockOk,
 }
 
 /// A recognised `// lint: …-ok(<reason>)` marker.
@@ -302,6 +307,8 @@ fn parse_marker(comment: &str, line: usize) -> Option<Marker> {
         (MarkerKind::PanicOk, r)
     } else if let Some(r) = rest.strip_prefix("public-ok(") {
         (MarkerKind::PublicOk, r)
+    } else if let Some(r) = rest.strip_prefix("lock-ok(") {
+        (MarkerKind::LockOk, r)
     } else {
         return None;
     };
@@ -445,6 +452,17 @@ fn quiet() {}\n";
             .collect();
         assert_eq!(lifetimes, vec!["static"]);
         assert_eq!(chars, vec!["x"]);
+    }
+
+    #[test]
+    fn lock_ok_markers_are_recognised() {
+        let lexed = lex("// lint: lock-ok(stop flag: the join below is the sync edge)\n");
+        assert_eq!(lexed.markers.len(), 1);
+        assert_eq!(lexed.markers[0].kind, MarkerKind::LockOk);
+        assert_eq!(
+            lexed.markers[0].reason,
+            "stop flag: the join below is the sync edge"
+        );
     }
 
     #[test]

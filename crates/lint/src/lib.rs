@@ -28,6 +28,10 @@
 //! | `no-taint-laundering` | share-tainted arguments reaching a print/recorder sink *inside a callee*, any number of hops away (interprocedural summaries) |
 //! | `no-secret-indexing` | share values used as slice indices or loop bounds — a data-dependent memory/timing channel |
 //! | `unused-suppression` | stale `// lint: *-ok` markers that suppress nothing |
+//! | `lock-order-cycle` | two locks acquired in opposite orders on different paths, or a held lock re-acquired |
+//! | `no-blocking-while-locked` | channel send/recv, thread join, foreign Condvar wait, or a round-executing backend call while holding a guard |
+//! | `condvar-wait-in-loop` | `Condvar::wait` whose result is not re-checked under a loop predicate |
+//! | `atomic-gate-ordering` | `Ordering::Relaxed` on atomics gating cross-thread data publication |
 //!
 //! Two engines back the rules. The original **token engine**
 //! ([`rules::lint_source_token`], R1–R6) is file-global and one-level; the
@@ -44,6 +48,13 @@
 //! protocol-level public output (e.g. the XOR-fold of broadcast words
 //! that *is* the opened bit). Markers that declassify nothing are R9.
 //!
+//! Rules R10–R13 come from a second interprocedural pass, the lock-set
+//! engine in `locks` (see DESIGN.md §11): per-function summaries of
+//! acquired locks, blocking-ness, and returned guards, iterated to a
+//! fixpoint, plus a global lock-acquisition graph checked for cycles.
+//! Reviewed exceptions use `// lint: lock-ok(<reason>)`, honoured (and
+//! held to account by R9) exactly like the other markers.
+//!
 //! Fixture files may begin with `// lint-fixture: <repo-relative-path>` to
 //! be linted *as if* they sat at that path — how the self-tests exercise
 //! each rule without planting bad code in the real crates.
@@ -56,6 +67,7 @@
 
 mod ast;
 pub mod lexer;
+mod locks;
 pub mod rules;
 pub mod sarif;
 mod taint;

@@ -20,6 +20,7 @@
 
 use crate::ast;
 use crate::lexer::{lex, Lexed, Marker, MarkerKind, Token, TokenKind};
+use crate::locks::{self, LockFile};
 use crate::taint::{self, TaintFile};
 use std::collections::HashSet;
 
@@ -106,6 +107,19 @@ pub const SHARE_APIS: [&str; 14] = [
     "scatter_words",
 ];
 
+/// Method names the lock engine (R11) treats as blocking operations:
+/// Condvar/barrier waits, channel endpoints, `JoinHandle::join` (the
+/// zero-argument form only — `Path::join` takes one), and the
+/// scheduler's round-executing backend hook. Pinned to real workspace
+/// call sites by `tests/api_drift.rs`.
+pub const BLOCKING_CALLS: [&str; 5] = ["wait", "send", "recv", "join", "execute_round"];
+
+/// Lock-related type names the lock engine recognises in function
+/// signatures: a `MutexGuard` parameter arrives held, a `Mutex`
+/// parameter keys acquisitions by its inner type, and `Condvar` anchors
+/// the wait-family semantics. Pinned by `tests/api_drift.rs`.
+pub const LOCK_TYPES: [&str; 3] = ["Mutex", "MutexGuard", "Condvar"];
+
 /// Where a file sits in the lint taxonomy, derived from its repo-relative
 /// path.
 #[derive(Clone, Debug)]
@@ -184,8 +198,17 @@ pub fn lint_files(inputs: &[(String, String)]) -> Vec<Finding> {
         .collect();
     let taint_out = taint::analyze(&taint_inputs);
 
+    let lock_inputs: Vec<LockFile<'_>> = preps
+        .iter()
+        .map(|p| LockFile {
+            ctx: &p.ctx,
+            ast: &p.tree,
+        })
+        .collect();
+    let lock_out = locks::analyze(&lock_inputs);
+
     let mut findings = Vec::new();
-    for (p, t) in preps.iter().zip(taint_out) {
+    for ((p, t), l) in preps.iter().zip(taint_out).zip(lock_out) {
         let mut raw = Vec::new();
         rule_no_debug_on_shares(&p.ctx, &p.lexed, &mut raw);
         if p.ctx.hot_path {
@@ -195,6 +218,7 @@ pub fn lint_files(inputs: &[(String, String)]) -> Vec<Finding> {
             rule_crate_hygiene_headers(&p.ctx, &p.lexed, &mut raw);
         }
         raw.extend(t.raw);
+        raw.extend(l.raw);
         findings.extend(apply_markers(
             &p.ctx,
             &p.lexed,
@@ -288,6 +312,7 @@ fn marker_name(kind: MarkerKind) -> &'static str {
         MarkerKind::DebugOk => "debug-ok",
         MarkerKind::PanicOk => "panic-ok",
         MarkerKind::PublicOk => "public-ok",
+        MarkerKind::LockOk => "lock-ok",
     }
 }
 

@@ -9,7 +9,7 @@ use crate::rules::Finding;
 
 /// Static metadata for every rule the two engines can emit, in stable
 /// identifier order (the SARIF `tool.driver.rules` array).
-const RULES: [(&str, &str); 9] = [
+const RULES: [(&str, &str); 13] = [
     (
         "no-debug-print",
         "Debug/print macros and {:?} formatting of share material in non-test mpc/core code.",
@@ -45,6 +45,22 @@ const RULES: [(&str, &str); 9] = [
     (
         "unused-suppression",
         "A // lint: *-ok marker that suppresses no finding and declassifies no binding.",
+    ),
+    (
+        "lock-order-cycle",
+        "Two locks acquired in opposite orders on different paths (or a held lock re-acquired) — a deadlock once the schedules interleave.",
+    ),
+    (
+        "no-blocking-while-locked",
+        "A Condvar wait on another mutex, channel send/recv, thread join, or round-executing backend call while holding a MutexGuard.",
+    ),
+    (
+        "condvar-wait-in-loop",
+        "Condvar::wait outside a loop: wakeups are spurious and racy, so the predicate must be re-checked (or use wait_while).",
+    ),
+    (
+        "atomic-gate-ordering",
+        "Ordering::Relaxed on an atomic that gates cross-thread data publication; Relaxed does not order the surrounding writes.",
     ),
 ];
 

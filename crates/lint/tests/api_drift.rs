@@ -3,7 +3,7 @@
 //! `fedroad-core`. Without this, a rename silently shrinks the linter's
 //! coverage — the lists rot while every lint test stays green.
 
-use fedroad_lint::rules::{HOT_PATHS, SHARE_APIS, SHARE_TYPES};
+use fedroad_lint::rules::{BLOCKING_CALLS, HOT_PATHS, LOCK_TYPES, SHARE_APIS, SHARE_TYPES};
 use std::path::PathBuf;
 
 fn workspace_root() -> PathBuf {
@@ -16,9 +16,19 @@ fn workspace_root() -> PathBuf {
 
 /// Concatenated sources of the two secret crates.
 fn secret_sources() -> String {
+    sources_of(&["crates/mpc/src", "crates/core/src"])
+}
+
+/// Concatenated sources of the concurrency-bearing crates the lock
+/// engine (R10–R13) watches.
+fn concurrency_sources() -> String {
+    sources_of(&["crates/mpc/src", "crates/core/src", "crates/obs/src"])
+}
+
+fn sources_of(dirs: &[&str]) -> String {
     let root = workspace_root();
     let mut all = String::new();
-    for dir in ["crates/mpc/src", "crates/core/src"] {
+    for dir in dirs {
         let mut stack = vec![root.join(dir)];
         while let Some(d) = stack.pop() {
             let mut entries: Vec<PathBuf> = std::fs::read_dir(&d)
@@ -77,6 +87,32 @@ fn hot_path_files_still_exist() {
         assert!(
             root.join(path).is_file(),
             "HOT_PATHS entry `{path}` no longer exists; update rules.rs"
+        );
+    }
+}
+
+#[test]
+fn blocking_calls_still_have_real_call_sites() {
+    let src = concurrency_sources();
+    for name in BLOCKING_CALLS {
+        let found = src.contains(&format!(".{name}(")) || src.contains(&format!("fn {name}"));
+        assert!(
+            found,
+            "BLOCKING_CALLS entry `{name}` has no call site or definition \
+             in mpc/core/obs; update rules.rs"
+        );
+    }
+}
+
+#[test]
+fn lock_types_still_appear_in_signatures() {
+    let src = concurrency_sources();
+    for ty in LOCK_TYPES {
+        let found = src.contains(&format!("{ty}<")) || src.contains(&format!(": {ty}"));
+        assert!(
+            found,
+            "LOCK_TYPES entry `{ty}` no longer appears as a type in \
+             mpc/core/obs; update rules.rs"
         );
     }
 }

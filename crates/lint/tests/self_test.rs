@@ -154,6 +154,72 @@ fn bad_cfg_not_test_trips_no_panic_hot_path() {
 }
 
 #[test]
+fn bad_lock_cycle_trips_lock_order_cycle() {
+    let findings = fixture("bad_lock_cycle.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "lock-order-cycle").count(),
+        2,
+        "pending→done and done→pending both close the cycle: {findings:?}"
+    );
+    assert_eq!(findings.len(), 2, "only R10 fires: {findings:?}");
+}
+
+#[test]
+fn bad_blocking_locked_trips_no_blocking_while_locked() {
+    let findings = fixture("bad_blocking_locked.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules
+            .iter()
+            .filter(|r| **r == "no-blocking-while-locked")
+            .count(),
+        1,
+        "recv under the state guard: {findings:?}"
+    );
+    assert_eq!(findings.len(), 1, "only R11 fires: {findings:?}");
+}
+
+#[test]
+fn bad_condvar_nowait_trips_condvar_wait_in_loop() {
+    let findings = fixture("bad_condvar_nowait.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules
+            .iter()
+            .filter(|r| **r == "condvar-wait-in-loop")
+            .count(),
+        1,
+        "a single un-looped wait: {findings:?}"
+    );
+    assert_eq!(findings.len(), 1, "only R12 fires: {findings:?}");
+}
+
+#[test]
+fn bad_relaxed_gate_trips_atomic_gate_ordering() {
+    let findings = fixture("bad_relaxed_gate.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules
+            .iter()
+            .filter(|r| **r == "atomic-gate-ordering")
+            .count(),
+        1,
+        "Relaxed store on the publication gate: {findings:?}"
+    );
+    assert_eq!(findings.len(), 1, "only R13 fires: {findings:?}");
+}
+
+#[test]
+fn good_scheduler_idiom_is_clean() {
+    let findings = fixture("good_scheduler_idiom.rs");
+    assert!(
+        findings.is_empty(),
+        "the scheduler idiom must pass R10–R13: {findings:?}"
+    );
+}
+
+#[test]
 fn good_fixture_is_clean() {
     let findings = fixture("good_clean.rs");
     assert!(findings.is_empty(), "unexpected findings: {findings:?}");
@@ -200,6 +266,10 @@ fn binary_exit_codes_match() {
         "bad_index.rs",
         "bad_stale_marker.rs",
         "bad_cfg_not_test.rs",
+        "bad_lock_cycle.rs",
+        "bad_blocking_locked.rs",
+        "bad_condvar_nowait.rs",
+        "bad_relaxed_gate.rs",
     ] {
         let out = Command::new(bin)
             .current_dir(&root)

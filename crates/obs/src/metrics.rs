@@ -262,6 +262,7 @@ impl MetricsExporter {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let out_path = path.clone();
+        // lint: lock-ok(the stop flag gates only loop exit, it publishes no data; the Drop-side join is the sync edge for the thread's writes)
         let handle = std::thread::spawn(move || {
             while !stop_flag.load(Ordering::Relaxed) {
                 let text = MetricsRegistry::global().render_prometheus();
@@ -284,6 +285,7 @@ impl MetricsExporter {
 
 impl Drop for MetricsExporter {
     fn drop(&mut self) {
+        // lint: lock-ok(shutdown request only; the join below synchronises everything the exporter thread wrote)
         self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.handle.take() {
             handle.thread().unpark();

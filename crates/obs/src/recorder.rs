@@ -168,32 +168,34 @@ pub fn current_tid() -> u64 {
 pub fn enable() {
     // Pin the time anchor no later than the first enable.
     let _ = anchor();
-    SINKS.fetch_or(SINK_RECORDER, Ordering::Relaxed);
+    // Release pairs with the Acquire loads in the is_* gates: a thread
+    // that sees the bit set also sees the anchor pinned above.
+    SINKS.fetch_or(SINK_RECORDER, Ordering::Release);
 }
 
 /// Turns recording off (the fast path at every call site).
 pub fn disable() {
-    SINKS.fetch_and(!SINK_RECORDER, Ordering::Relaxed);
+    SINKS.fetch_and(!SINK_RECORDER, Ordering::Release);
 }
 
 /// Whether the aggregate recorder is currently on.
 #[inline]
 pub fn is_enabled() -> bool {
-    SINKS.load(Ordering::Relaxed) & SINK_RECORDER != 0
+    SINKS.load(Ordering::Acquire) & SINK_RECORDER != 0
 }
 
 /// Whether *any* event sink (aggregate recorder or flight recorder) is on
 /// — the guard call sites use before assembling event payloads.
 #[inline]
 pub fn is_active() -> bool {
-    SINKS.load(Ordering::Relaxed) != 0
+    SINKS.load(Ordering::Acquire) != 0
 }
 
 /// Whether the flight-recorder sink bit is set (the public query lives on
 /// [`crate::flight::is_enabled`]).
 #[inline]
 pub(crate) fn is_flight_enabled() -> bool {
-    SINKS.load(Ordering::Relaxed) & SINK_FLIGHT != 0
+    SINKS.load(Ordering::Acquire) & SINK_FLIGHT != 0
 }
 
 /// Flips the flight-recorder bit of the sink mask (driven by
@@ -201,9 +203,11 @@ pub(crate) fn is_flight_enabled() -> bool {
 pub(crate) fn set_flight_sink(on: bool) {
     if on {
         let _ = anchor();
-        SINKS.fetch_or(SINK_FLIGHT, Ordering::Relaxed);
+        // Release for the same reason as `enable`: the sink bit
+        // publishes the ring configuration done by `flight::enable`.
+        SINKS.fetch_or(SINK_FLIGHT, Ordering::Release);
     } else {
-        SINKS.fetch_and(!SINK_FLIGHT, Ordering::Relaxed);
+        SINKS.fetch_and(!SINK_FLIGHT, Ordering::Release);
     }
 }
 
@@ -286,7 +290,7 @@ pub fn hist_record(name: &'static str, value: u64) {
 }
 
 fn push_event(kind: EventKind, name: &'static str, args: &[(&'static str, ObsValue)]) {
-    let mask = SINKS.load(Ordering::Relaxed);
+    let mask = SINKS.load(Ordering::Acquire);
     let ev = TraceEvent {
         ts_ns: now_ns(),
         tid: current_tid(),

@@ -51,6 +51,30 @@ if cargo run -q -p fedroad-lint crates/lint/fixtures/bad_launder.rs >/dev/null 2
   exit 1
 fi
 
+echo "==> fedroad-lint flags the lock-order-cycle fixture (negative check)"
+if cargo run -q -p fedroad-lint crates/lint/fixtures/bad_lock_cycle.rs >/dev/null 2>&1; then
+  echo "error: the linter passed a fixture with opposite lock orders" >&2
+  exit 1
+fi
+
+echo "==> fedroad-lint flags the blocking-while-locked fixture (negative check)"
+if cargo run -q -p fedroad-lint crates/lint/fixtures/bad_blocking_locked.rs >/dev/null 2>&1; then
+  echo "error: the linter passed a fixture blocking under a held guard" >&2
+  exit 1
+fi
+
+echo "==> fedroad-lint flags the condvar-no-loop fixture (negative check)"
+if cargo run -q -p fedroad-lint crates/lint/fixtures/bad_condvar_nowait.rs >/dev/null 2>&1; then
+  echo "error: the linter passed a fixture with an un-looped Condvar wait" >&2
+  exit 1
+fi
+
+echo "==> fedroad-lint flags the relaxed-gate fixture (negative check)"
+if cargo run -q -p fedroad-lint crates/lint/fixtures/bad_relaxed_gate.rs >/dev/null 2>&1; then
+  echo "error: the linter passed a fixture with a Relaxed publication gate" >&2
+  exit 1
+fi
+
 echo "==> differential token-vs-AST gate"
 cargo run -q -p fedroad-lint -- --differential
 
@@ -79,9 +103,11 @@ cargo run -q --release -p fedroad-bench --bin obs_diff -- \
   BENCH_throughput.json results/BENCH_throughput.json
 
 # Concurrency checks for the threaded protocol runner, the cross-query round
-# scheduler, and the batch executor. ThreadSanitizer needs a nightly toolchain
-# and rebuilt std, so it is opt-in here (CI runs it as a separate non-blocking
-# job — see .github/workflows/ci.yml `tsan`). On a machine with nightly:
+# scheduler, and the batch executor come in two layers: statically, the
+# fedroad-lint lock-set rules R10-R13 run as part of the lint step above;
+# dynamically, ThreadSanitizer needs a nightly toolchain and rebuilt std, so
+# it is opt-in here (CI runs it as a separate *blocking* job with per-step
+# timeouts — see .github/workflows/ci.yml `tsan`). On a machine with nightly:
 #
 #   export RUSTFLAGS="-Zsanitizer=thread"
 #   cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
