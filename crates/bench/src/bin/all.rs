@@ -38,6 +38,13 @@ fn main() {
         Ok(path) => println!("[throughput] records written to {}", path.display()),
         Err(e) => eprintln!("[throughput] failed validation: {e}"),
     }
+    // So does the live-traffic update scenario.
+    let lu = fedroad_bench::liveupdate::run(quick);
+    report.add_experiment("live_traffic", 1);
+    match lu.save() {
+        Ok(path) => println!("[live_traffic] records written to {}", path.display()),
+        Err(e) => eprintln!("[live_traffic] failed validation: {e}"),
+    }
     report.set_snapshot(&fedroad_obs::snapshot());
     match report.save() {
         Ok(path) => println!("run report written to {}", path.display()),

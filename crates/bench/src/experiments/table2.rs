@@ -101,8 +101,8 @@ pub fn run(quick: bool) -> Reporter {
                 format!("{}%", frac * 100.0),
                 vec![
                     ("update_s".into(), update_s),
-                    ("fresh_contractions".into(), stats.contracted_fresh as f64),
-                    ("replayed".into(), stats.replayed as f64),
+                    ("touched_shortcuts".into(), stats.touched as f64),
+                    ("changed_shortcuts".into(), stats.changed as f64),
                 ],
             );
 

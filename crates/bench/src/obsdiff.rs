@@ -1,6 +1,7 @@
 //! The bench-regression gate: structural diff of two schema-checked
 //! telemetry artifacts (`fedroad.bench-run.v1`,
-//! `fedroad.bench-throughput.v1`, `fedroad.metrics-snapshot.v1`).
+//! `fedroad.bench-throughput.v1`, `fedroad.bench-update.v1`,
+//! `fedroad.metrics-snapshot.v1`).
 //!
 //! [`diff`] compares a *baseline* document against a *current* one and
 //! yields [`Finding`]s. Severity encodes how trustworthy each metric is:
@@ -291,6 +292,47 @@ pub fn validate_metrics_snapshot(doc: &Value) -> Result<(), JsonError> {
     Ok(())
 }
 
+fn diff_update(cx: &mut DiffCx<'_>, base: &Value, cur: &Value) -> Result<(), JsonError> {
+    crate::liveupdate::validate(base)?;
+    crate::liveupdate::validate(cur)?;
+    let u =
+        |doc: &Value, key: &str| -> Result<f64, JsonError> { Ok(doc.get(key)?.as_u64()? as f64) };
+    let f = |doc: &Value, key: &str| -> Result<f64, JsonError> {
+        match doc.get(key)? {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(JsonError::Schema(format!(
+                "field `{key}` must be a number, found {other:?}"
+            ))),
+        }
+    };
+    // The congestion wave and the customize cone are fully seeded: these
+    // counters reproduce exactly, so any drift is a real behaviour change.
+    for key in [
+        "ticks",
+        "epochs",
+        "updates_applied",
+        "touched_shortcuts",
+        "changed_shortcuts",
+    ] {
+        cx.compare(key, u(base, key)?, u(cur, key)?, Worse::Higher, true);
+    }
+    // Everything folding in wall time is host-dependent: advisory only.
+    for (key, worse) in [
+        ("build_s", Worse::Higher),
+        ("customize_p50_s", Worse::Higher),
+        ("customize_p99_s", Worse::Higher),
+        ("updates_per_sec", Worse::Lower),
+        ("build_over_customize", Worse::Lower),
+        ("quiescent_p50_s", Worse::Higher),
+        ("live_p50_s", Worse::Higher),
+        ("degradation", Worse::Higher),
+    ] {
+        cx.compare(key, f(base, key)?, f(cur, key)?, worse, false);
+    }
+    Ok(())
+}
+
 fn diff_metrics_snapshot(cx: &mut DiffCx<'_>, base: &Value, cur: &Value) -> Result<(), JsonError> {
     validate_metrics_snapshot(base)?;
     validate_metrics_snapshot(cur)?;
@@ -364,6 +406,7 @@ pub fn diff(base: &Value, cur: &Value, opts: &DiffOptions) -> Result<Vec<Finding
     match base_schema.as_str() {
         crate::runreport::RUN_SCHEMA => diff_bench_run(&mut cx, base, cur)?,
         crate::throughput::THROUGHPUT_SCHEMA => diff_throughput(&mut cx, base, cur)?,
+        crate::liveupdate::UPDATE_SCHEMA => diff_update(&mut cx, base, cur)?,
         METRICS_SCHEMA => diff_metrics_snapshot(&mut cx, base, cur)?,
         other => {
             return Err(JsonError::Schema(format!(
@@ -478,6 +521,56 @@ mod tests {
         assert!(!has_failure(&findings), "{findings:?}"); // gauge drift warns
         let findings = diff(&mk(100, 1), &mk(200, 1), &DiffOptions::default()).unwrap();
         assert!(has_failure(&findings), "{findings:?}"); // counter drift fails
+    }
+
+    fn update_report_json(touched: u64, updates_per_sec: f64) -> String {
+        format!(
+            "{{\"schema\":\"fedroad.bench-update.v1\",\"seed\":7,\"quick\":true,\
+             \"preset\":\"CAL-S\",\"ticks\":12,\"epochs\":12,\"updates_applied\":900,\
+             \"touched_shortcuts\":{touched},\"changed_shortcuts\":500,\
+             \"build_s\":1.2,\"customize_p50_s\":0.01,\"customize_p99_s\":0.03,\
+             \"updates_per_sec\":{updates_per_sec},\"build_over_customize\":120.0,\
+             \"quiescent_p50_s\":0.004,\"live_p50_s\":0.005,\"degradation\":1.25}}"
+        )
+    }
+
+    #[test]
+    fn update_counters_fail_hard_but_rates_only_warn() {
+        let base = parse(&update_report_json(4000, 7000.0));
+        // Deterministic cone counter regressed past the threshold: Fail.
+        let findings = diff(
+            &base,
+            &parse(&update_report_json(6000, 7000.0)),
+            &DiffOptions::default(),
+        )
+        .unwrap();
+        assert!(has_failure(&findings), "{findings:?}");
+        assert!(findings.iter().any(|f| f.metric == "touched_shortcuts"));
+        // Host-dependent absorption rate halved: Warn only.
+        let findings = diff(
+            &base,
+            &parse(&update_report_json(4000, 3000.0)),
+            &DiffOptions::default(),
+        )
+        .unwrap();
+        assert!(!findings.is_empty());
+        assert!(!has_failure(&findings), "{findings:?}");
+    }
+
+    #[test]
+    fn update_diff_rejects_schema_drift() {
+        // The committed baseline guards the artifact format itself: a
+        // current report whose schema tag moved on is a hard gate error,
+        // not a finding.
+        let base = parse(&update_report_json(4000, 7000.0));
+        let drifted = parse(
+            &update_report_json(4000, 7000.0)
+                .replace("fedroad.bench-update.v1", "fedroad.bench-update.v2"),
+        );
+        assert!(matches!(
+            diff(&base, &drifted, &DiffOptions::default()),
+            Err(JsonError::Schema(_))
+        ));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 // never a panic (see fedroad-lint rule `no-panic-hot-path`).
 #![deny(clippy::unwrap_used)]
 
-use crate::fedch::{FedChIndex, FedChStats};
+use crate::fedch::{CustomizeStats, FedChIndex};
 use crate::federation::Federation;
 use crate::lb::{FedPotential, LandmarkPartials, LowerBoundKind};
 use crate::partials::{JointComparator, SacComparator};
@@ -490,7 +490,7 @@ impl QueryEngine {
         &mut self,
         fed: &mut Federation,
         changed_arcs: &[ArcId],
-    ) -> Option<FedChStats> {
+    ) -> Option<CustomizeStats> {
         let index = self.fedch.as_mut()?;
         let (graph, silos, engine) = fed.split_mut();
         let mut cmp = SacComparator::new(engine);

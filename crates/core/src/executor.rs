@@ -166,6 +166,7 @@ pub struct IndexSnapshot {
     fedch: Option<Arc<FedChIndex>>,
     landmark_partials: Option<Arc<LandmarkPartials>>,
     static_table: Option<Arc<LandmarkTable>>,
+    epoch: u64,
 }
 
 impl IndexSnapshot {
@@ -177,6 +178,7 @@ impl IndexSnapshot {
             num_silos: fed.num_silos(),
             graph: Arc::new(fed.graph().clone()),
             silos: Arc::new(fed.silos().to_vec()),
+            epoch: engine.fedch().map(|i| i.epoch()).unwrap_or(0),
             fedch: engine.fedch().cloned().map(Arc::new),
             landmark_partials: engine.landmark_partials().cloned().map(Arc::new),
             static_table: engine.static_table().cloned().map(Arc::new),
@@ -186,6 +188,13 @@ impl IndexSnapshot {
     /// The configuration the snapshot was captured under.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The index epoch the snapshot was captured at (0 without a shortcut
+    /// index). Live executors tag every result with the epoch of the
+    /// snapshot that answered it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of silos in the federation the snapshot came from.
@@ -467,32 +476,169 @@ impl BatchExecutor {
 
     /// Runs one query inside a fresh scheduler session.
     fn run_one(&self, s: VertexId, t: VertexId) -> QueryResult {
-        let start = Instant::now();
-        let session = self.scheduler.register();
-        let mut cmp = SessionComparator::new(&session, self.snapshot.config.batch_rounds);
-        let outcome = {
-            let mut potential = self.snapshot.potential(s, t);
-            self.snapshot
-                .parts()
-                .run_spsp(s, t, potential.as_mut(), &mut cmp)
-        };
-        let stats = QueryStats {
-            sac_invocations: cmp.invocations,
-            // Per-query round/byte attribution is undefined under
-            // cross-query coalescing (a merged round belongs to every
-            // query it carries); see the aggregate BatchReport.
-            rounds: 0,
-            bytes: 0,
-            messages: 0,
-            per_party_bytes: 0,
-            settled: outcome.settled,
-            queue_counts: outcome.queue_counts,
-            queue_pushes: outcome.queue_pushes,
-            wall_time_s: start.elapsed().as_secs_f64(),
-        };
-        QueryResult {
-            path: outcome.path,
-            stats,
+        run_one_on(&self.snapshot, &self.scheduler, s, t)
+    }
+}
+
+/// Runs one query against `snapshot` inside a fresh scheduler session —
+/// shared by the fixed-snapshot [`BatchExecutor`] and the epoch-swapping
+/// [`LiveExecutor`].
+fn run_one_on(
+    snapshot: &IndexSnapshot,
+    scheduler: &BatchScheduler,
+    s: VertexId,
+    t: VertexId,
+) -> QueryResult {
+    let start = Instant::now();
+    let session = scheduler.register();
+    let mut cmp = SessionComparator::new(&session, snapshot.config.batch_rounds);
+    let outcome = {
+        let mut potential = snapshot.potential(s, t);
+        snapshot
+            .parts()
+            .run_spsp(s, t, potential.as_mut(), &mut cmp)
+    };
+    let stats = QueryStats {
+        sac_invocations: cmp.invocations,
+        // Per-query round/byte attribution is undefined under
+        // cross-query coalescing (a merged round belongs to every
+        // query it carries); see the aggregate BatchReport.
+        rounds: 0,
+        bytes: 0,
+        messages: 0,
+        per_party_bytes: 0,
+        settled: outcome.settled,
+        queue_counts: outcome.queue_counts,
+        queue_pushes: outcome.queue_pushes,
+        wall_time_s: start.elapsed().as_secs_f64(),
+    };
+    QueryResult {
+        path: outcome.path,
+        stats,
+    }
+}
+
+/// The publication point between the index updater and live queries: one
+/// `Arc` slot holding the current [`IndexSnapshot`]. The updater
+/// [`publish`](Self::publish)es a freshly captured snapshot after each
+/// customization epoch; queries [`load`](Self::load) whatever is current
+/// when they *start* and keep that `Arc` until they finish — an in-flight
+/// query never observes a half-swapped index, only a slightly stale but
+/// internally consistent one (tagged with its epoch).
+pub struct SnapshotCell {
+    current: Mutex<Arc<IndexSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Creates a cell publishing `snapshot`.
+    pub fn new(snapshot: Arc<IndexSnapshot>) -> Self {
+        fedroad_obs::gauge_set("executor.snapshot_epoch", snapshot.epoch());
+        SnapshotCell {
+            current: Mutex::new(snapshot),
         }
+    }
+
+    /// Atomically replaces the published snapshot. Readers that already
+    /// hold the previous `Arc` drain on it; new loads see this one.
+    pub fn publish(&self, snapshot: Arc<IndexSnapshot>) {
+        fedroad_obs::gauge_set("executor.snapshot_epoch", snapshot.epoch());
+        let mut guard = self
+            .current
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *guard = snapshot;
+    }
+
+    /// The currently published snapshot (an `Arc` clone; the critical
+    /// section is one pointer copy).
+    pub fn load(&self) -> Arc<IndexSnapshot> {
+        Arc::clone(
+            &self
+                .current
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.load().epoch()
+    }
+}
+
+/// One live query result plus the epoch of the snapshot that answered it.
+#[derive(Clone, Debug)]
+pub struct LiveQueryResult {
+    /// The query result (bit-identical to a [`BatchExecutor`] run against
+    /// the same snapshot).
+    pub result: QueryResult,
+    /// Epoch of the [`IndexSnapshot`] this query ran against.
+    pub epoch: u64,
+}
+
+/// A worker pool like [`BatchExecutor`], but reading its snapshot from a
+/// [`SnapshotCell`] *per query*: an updater thread can publish new epochs
+/// while a batch is in flight, and each result records which epoch
+/// answered it. Queries already running keep their snapshot `Arc` until
+/// they drain.
+pub struct LiveExecutor {
+    cell: Arc<SnapshotCell>,
+    scheduler: Arc<BatchScheduler>,
+    workers: usize,
+}
+
+impl LiveExecutor {
+    /// Creates a live executor with `workers` threads (at least one).
+    pub fn new(cell: Arc<SnapshotCell>, scheduler: Arc<BatchScheduler>, workers: usize) -> Self {
+        LiveExecutor {
+            cell,
+            scheduler,
+            workers: workers.max(1),
+        }
+    }
+
+    /// The snapshot cell queries load from.
+    pub fn cell(&self) -> &Arc<SnapshotCell> {
+        &self.cell
+    }
+
+    /// Runs every `(s, t)` query on the worker pool, loading the current
+    /// snapshot per query, and returns epoch-tagged results in input
+    /// order.
+    pub fn run(&self, queries: &[(VertexId, VertexId)]) -> Vec<LiveQueryResult> {
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<LiveQueryResult>>> = Mutex::new(vec![None; queries.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| loop {
+                    // lint: lock-ok(the cursor only hands out indices; results are published through the slots mutex and the scope join)
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(s, t)) = queries.get(i) else {
+                        break;
+                    };
+                    // The load-then-run order is the whole protocol: the
+                    // epoch recorded here is the snapshot the query runs
+                    // on, however many publishes happen meanwhile.
+                    let snapshot = self.cell.load();
+                    let result = run_one_on(&snapshot, &self.scheduler, s, t);
+                    let tagged = LiveQueryResult {
+                        result,
+                        epoch: snapshot.epoch(),
+                    };
+                    let mut guard = slots
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    guard[i] = Some(tagged);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .into_iter()
+            // Every slot was filled: the scope joined all workers and the
+            // cursor covers every index exactly once.
+            .map(|slot| slot.expect("worker filled every claimed slot"))
+            .collect()
     }
 }

@@ -1,30 +1,43 @@
-//! The federated shortcut index (§IV, Algorithms 2–3): a contraction
-//! hierarchy whose shortcut set is **consistent across all silos** while
-//! every silo keeps only its own partial shortcut weights.
+//! The federated shortcut index (§IV, Algorithms 2–3), restructured as a
+//! two-phase *customizable* contraction hierarchy:
+//!
+//! 1. **Metric-independent topology** ([`FedChTopology`]): the contraction
+//!    order and the complete shortcut structure — which overlay arcs exist,
+//!    which lower triangles (middle vertices) can realize them — are fixed
+//!    once per graph from the **public topology alone**. Contracting `v`
+//!    connects every pair of its uncontracted in/out-neighbours; no witness
+//!    searches, no communication, and therefore trivially consistent across
+//!    silos (the paper's C1 for free).
+//! 2. **Metric customization** ([`FedChIndex::customize`]): shortcut weights
+//!    are computed bottom-up along the fixed topology. An arc's weight is
+//!    the minimum of its base weight and `w(u,v) + w(v,w)` over its lower
+//!    triangles; every keep-minimum decision goes through the joint
+//!    comparator (Fed-SAC), so all silos agree on which via path wins while
+//!    each holds only its own partial column.
 //!
 //! ## Consistency (the paper's C1)
 //!
-//! * The contraction *order* is computed from the public topology alone
-//!   ([`fedroad_graph::ch::contraction_order`]) — every silo derives it
-//!   locally, no communication.
-//! * Shortcut *decisions* are made by federated witness searches whose only
-//!   observable outputs are Fed-SAC comparison bits — identical at every
-//!   silo, so the shortcut sets agree.
+//! * The contraction *order* and the *shortcut set* are functions of the
+//!   public topology — every silo derives them locally.
 //! * Shortcut *weights* are via-path partial-cost sums: each silo stores
-//!   `ω_p(u,v) + ω_p(v,w)`, whose joint average equals the WJRN shortcut
-//!   weight (Algorithm 2's guarantee). Naively letting each silo compute
-//!   its own local witness would break this — reproduced as a failing
-//!   configuration in the tests.
+//!   `ω_p(u,v) + ω_p(v,w)` for the jointly chosen triangle, whose joint
+//!   average equals the WJRN shortcut weight (Algorithm 2's guarantee).
 //!
 //! ## Dynamic updates (§IV "Federated Index Updating", Table II)
 //!
-//! Construction records, per contracted vertex, the set of vertices its
-//! witness searches *touched*. A weight refresh replays the contraction in
-//! order: a vertex is re-contracted (fresh witness searches) only when some
-//! touched vertex is incident to a changed arc; otherwise its recorded
-//! decisions are replayed verbatim. This is sound — if nothing a witness
-//! search examined changed, re-running it would reproduce the identical
-//! execution — and gives update costs proportional to the changed fraction.
+//! Because the topology never depends on weights, a traffic refresh is pure
+//! re-customization: changed base arcs dirty their overlay arcs, recomputed
+//! arcs whose weight actually changed dirty their dependents (the arcs with
+//! a triangle through them), and the wave proceeds level by level — cost
+//! proportional to the touched shortcut *cone*, not the graph. A batch that
+//! changes nothing (zero-delta) touches nothing and leaves the index
+//! [`epoch`](FedChIndex::epoch) untouched; any effective batch bumps the
+//! epoch, which snapshot-swapping executors use to tag query results.
+//!
+//! Exactness of partial customization is structural: recomputing an arc
+//! always replays the identical triangle fold over identical inputs, so a
+//! customized index is bit-identical to a from-scratch rebuild under the
+//! same weights (pinned by `tests/customize_equals_rebuild.rs`).
 
 // Protocol hot path: a malformed message must become a typed error,
 // never a panic (see fedroad-lint rule `no-panic-hot-path`).
@@ -32,17 +45,16 @@
 
 use crate::federation::SiloWeights;
 use crate::jsonio::{JsonError, Value};
-use crate::partials::{EntryComparator, JointComparator, KeyedEntry, PartialKey};
+use crate::partials::{JointComparator, PartialKey};
 use crate::view::{ArcVisitor, SearchView};
 use fedroad_graph::{ArcId, Direction, Graph, VertexId, Weight};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Instant;
 
-/// Safety valve for federated witness searches; exceeding it conservatively
-/// adds the shortcut (correct, possibly redundant). Deterministic and
-/// public, so all silos agree.
-pub const WITNESS_SETTLE_LIMIT: usize = 400;
-
-/// One upward arc of the federated hierarchy.
+/// One upward arc of the federated hierarchy, materialized for inspection
+/// (tests, benches, persistence checks). Queries run over the arena
+/// directly and never build these.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FedChArc {
     /// The other endpoint.
@@ -50,81 +62,112 @@ pub struct FedChArc {
     /// Per-silo partial weights (silo `p` holds only `weights[p]` in a
     /// real deployment).
     pub weights: Vec<Weight>,
-    /// Contracted middle vertex for shortcuts; `None` for original arcs.
+    /// Middle vertex of the currently winning via path; `None` when the
+    /// base arc wins (or the arc is purely original).
     pub middle: Option<VertexId>,
 }
 
-/// What one contraction did — the replay log entry powering updates.
-#[derive(Clone, Debug)]
-struct ContractionRecord {
-    /// Overlay arcs whose weights this contraction *read*: everything its
-    /// witness searches relaxed plus the contracted vertex's incident
-    /// arcs. If none of them changed, the recorded decisions replay
-    /// verbatim — the soundness core of the partial update.
-    relaxed: Vec<(u32, u32)>,
-    /// Vertices the witness searches settled: an arc *added* at one of
-    /// them after the fact would have altered the search, so additions
-    /// are detected against this set.
-    settled: Vec<u32>,
-    /// Shortcuts created: `(tail, head, final per-silo weights)`.
-    shortcuts: Vec<(VertexId, VertexId, Vec<Weight>)>,
+/// One per-silo base-weight change feeding [`FedChIndex::customize`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightChange {
+    /// The changed base-graph arc.
+    pub arc: ArcId,
+    /// Which silo observed the change.
+    pub silo: usize,
+    /// The silo's new weight for the arc.
+    pub weight: Weight,
 }
 
-/// Statistics of a build or update run.
+/// Statistics of the metric-independent phase (topology + first
+/// customization) — fixed for the lifetime of the index.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FedChStats {
-    /// Vertices whose witness searches actually ran.
-    pub contracted_fresh: u64,
-    /// Vertices whose recorded decisions were replayed (updates only).
-    pub replayed: u64,
-    /// Shortcuts present after the run.
+    /// Total overlay arcs in the arena (original + shortcuts).
+    pub overlay_arcs: u64,
+    /// Shortcut arcs (no original-arc backing).
     pub shortcuts: u64,
+    /// Lower triangles across all overlay arcs — the unit of
+    /// customization work.
+    pub triangles: u64,
 }
 
-/// The federated contraction-hierarchy index.
-///
-/// Serializable so silos can persist it between sessions — **each silo
-/// must strip the other silos' columns before writing to disk in a real
-/// deployment** (in this coordinator-view codebase the index holds all
-/// partial weight vectors; see [`FedChIndex::silo_view`]).
+/// Statistics of one [`FedChIndex::customize`] run — what a weight batch
+/// actually cost, as opposed to the build-time [`FedChStats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CustomizeStats {
+    /// Weight changes applied after zero-delta filtering.
+    pub applied: u64,
+    /// Overlay arcs recomputed (the touched shortcut cone).
+    pub touched: u64,
+    /// Recomputed arcs whose weight vector or middle actually changed.
+    pub changed: u64,
+    /// Distinct hierarchy levels the recomputation wave visited.
+    pub cone_depth: u64,
+    /// Wall-clock seconds of the run.
+    pub wall_time_s: f64,
+}
+
+/// A lower triangle of an overlay arc `(u, w)`: contracting `middle`
+/// offered the via path `u → middle → w`, whose cost is the sum of the two
+/// lower arcs' current weights.
+#[derive(Clone, Copy, Debug)]
+struct Triangle {
+    middle: VertexId,
+    /// Arena id of the lower arc `u → middle`.
+    uv: u32,
+    /// Arena id of the lower arc `middle → w`.
+    vw: u32,
+}
+
+/// One arena arc of the metric-independent overlay.
 #[derive(Clone, Debug)]
-pub struct FedChIndex {
+struct TopoArc {
+    tail: VertexId,
+    head: VertexId,
+    /// Backing base-graph arc, when the pair exists in the input graph.
+    orig: Option<ArcId>,
+    /// `min(rank(tail), rank(head))` — the customization processing level:
+    /// an arc's weight is final once every lower level is.
+    level: u32,
+    /// Lower triangles in middle-rank order (creation order).
+    triangles: Vec<Triangle>,
+}
+
+/// The metric-independent half of the index: contraction order, overlay
+/// arena, triangles, and the dependency lists customization walks. Built
+/// once per graph (no weights, no communication) and shared by every
+/// customized [`FedChIndex`] via `Arc`.
+#[derive(Debug)]
+pub struct FedChTopology {
     order: Vec<VertexId>,
     rank: Vec<u32>,
-    up_out: Vec<Vec<FedChArc>>,
-    up_in: Vec<Vec<FedChArc>>,
-    log: Vec<ContractionRecord>,
-    stats: FedChStats,
+    core_size: usize,
+    /// Number of arcs in the base graph (sizes `orig_to_arena`).
+    num_base_arcs: usize,
+    arcs: Vec<TopoArc>,
+    /// Upward forward adjacency: arena ids, sorted by head vertex.
+    up_out: Vec<Vec<u32>>,
+    /// Upward backward adjacency: arena ids, sorted by tail vertex.
+    up_in: Vec<Vec<u32>>,
+    /// Arena arcs with a triangle through this arc — who must be
+    /// recomputed when this arc's weight changes.
+    dependents: Vec<Vec<u32>>,
+    /// All arena ids sorted by `(level, id)` — the full customization
+    /// sweep order.
+    level_order: Vec<u32>,
+    /// Base `ArcId` → arena id (`None` for self-loops, which never enter
+    /// the overlay).
+    orig_to_arena: Vec<Option<u32>>,
 }
 
-/// Overlay arc used during (re)construction.
-#[derive(Clone, Debug)]
-struct OvArc {
-    weights: Vec<Weight>,
-    middle: Option<VertexId>,
-}
-
-// BTreeMap keeps iteration deterministic: neighbourhood enumeration order
-// feeds witness-search tie-breaking, which must be identical at every silo
-// and across runs.
-type Overlay = Vec<BTreeMap<u32, OvArc>>;
-
-impl FedChIndex {
-    /// Builds the index by federated vertex contraction (Algorithm 3):
-    /// the first `n − core_size` vertices of `order` (the "unimportant"
-    /// set `V_c`) are contracted with federated witness searches; the
-    /// remaining `core_size` "important" vertices stay as an uncontracted
-    /// core that queries cross with A* pruning (the combination evaluated
-    /// in the paper's Figure 7). Every ordering decision inside the
-    /// witness searches and every keep-minimum decision goes through
-    /// `cmp` (Fed-SAC).
-    pub fn build(
-        graph: &Graph,
-        silos: &[SiloWeights],
-        order: &[VertexId],
-        core_size: usize,
-        cmp: &mut dyn JointComparator,
-    ) -> Self {
+impl FedChTopology {
+    /// Builds the shortcut topology by simulated contraction: the first
+    /// `n − core_size` vertices of `order` are contracted in sequence, and
+    /// contracting `v` connects every ordered pair `(u, w)` of its
+    /// uncontracted in/out-neighbours — unconditionally, because without
+    /// weights there is no witness to consult. Conservative (a witness-
+    /// pruned hierarchy is a subgraph of this one) and therefore exact.
+    pub fn build(graph: &Graph, order: &[VertexId], core_size: usize) -> Self {
         let n = graph.num_vertices();
         assert_eq!(order.len(), n);
         assert!((1..=n).contains(&core_size), "core must keep >= 1 vertex");
@@ -132,201 +175,461 @@ impl FedChIndex {
         for (r, &v) in order.iter().enumerate() {
             rank[v.index()] = r as u32;
         }
-        let mut index = FedChIndex {
-            order: order.to_vec(),
-            rank,
-            up_out: vec![Vec::new(); n],
-            up_in: vec![Vec::new(); n],
-            log: Vec::with_capacity(n - core_size),
-            stats: FedChStats::default(),
-        };
-        let (mut fwd, mut bwd) = base_overlay(graph, silos);
+
+        let mut arcs: Vec<TopoArc> = Vec::new();
+        let mut orig_to_arena: Vec<Option<u32>> = vec![None; graph.num_arcs()];
+        // Adjacency under construction: other endpoint → arena id. BTreeMap
+        // keeps neighbourhood enumeration deterministic across runs.
+        let mut fwd: Vec<BTreeMap<u32, u32>> = vec![BTreeMap::new(); n];
+        let mut bwd: Vec<BTreeMap<u32, u32>> = vec![BTreeMap::new(); n];
+        for v in graph.vertices() {
+            for arc in graph.out_arcs(v) {
+                if arc.head == v {
+                    continue;
+                }
+                let id = match fwd[v.index()].get(&arc.head.0).copied() {
+                    // The generators guarantee simple graphs; a parallel
+                    // arc maps onto the same overlay pair (last wins).
+                    Some(id) => {
+                        arcs[id as usize].orig = Some(arc.id);
+                        id
+                    }
+                    None => {
+                        let id = arcs.len() as u32;
+                        arcs.push(TopoArc {
+                            tail: v,
+                            head: arc.head,
+                            orig: Some(arc.id),
+                            level: rank[v.index()].min(rank[arc.head.index()]),
+                            triangles: Vec::new(),
+                        });
+                        fwd[v.index()].insert(arc.head.0, id);
+                        bwd[arc.head.index()].insert(v.0, id);
+                        id
+                    }
+                };
+                orig_to_arena[arc.id.index()] = Some(id);
+            }
+        }
+
         let mut contracted = vec![false; n];
-        for i in 0..n - core_size {
-            let v = index.order[i];
-            let record = contract_fresh(&mut index, &mut fwd, &mut bwd, &mut contracted, v, cmp);
-            index.stats.contracted_fresh += 1;
-            index.log.push(record);
+        for &v in order.iter().take(n - core_size) {
+            let ins: Vec<(u32, u32)> = bwd[v.index()]
+                .iter()
+                .filter(|(u, _)| !contracted[**u as usize])
+                .map(|(&u, &id)| (u, id))
+                .collect();
+            let outs: Vec<(u32, u32)> = fwd[v.index()]
+                .iter()
+                .filter(|(w, _)| !contracted[**w as usize])
+                .map(|(&w, &id)| (w, id))
+                .collect();
+            contracted[v.index()] = true;
+            for &(u, uv) in &ins {
+                for &(w, vw) in &outs {
+                    if w == u {
+                        continue;
+                    }
+                    match fwd[u as usize].get(&w).copied() {
+                        Some(id) => {
+                            arcs[id as usize]
+                                .triangles
+                                .push(Triangle { middle: v, uv, vw })
+                        }
+                        None => {
+                            let id = arcs.len() as u32;
+                            arcs.push(TopoArc {
+                                tail: VertexId(u),
+                                head: VertexId(w),
+                                orig: None,
+                                level: rank[u as usize].min(rank[w as usize]),
+                                triangles: vec![Triangle { middle: v, uv, vw }],
+                            });
+                            fwd[u as usize].insert(w, id);
+                            bwd[w as usize].insert(u, id);
+                        }
+                    }
+                }
+            }
         }
-        // Core vertices keep their (mutually connecting) overlay arcs.
-        for i in n - core_size..n {
-            let v = index.order[i];
-            record_up_lists(
-                &mut index.up_out,
-                &mut index.up_in,
-                &fwd,
-                &bwd,
-                &contracted,
-                v,
-            );
+
+        Self::finish(
+            order.to_vec(),
+            rank,
+            core_size,
+            graph.num_arcs(),
+            arcs,
+            orig_to_arena,
+        )
+    }
+
+    /// Derives the redundant structures (up lists, dependents, sweep
+    /// order) from the arena — shared by [`Self::build`] and the JSON
+    /// restore path.
+    fn finish(
+        order: Vec<VertexId>,
+        rank: Vec<u32>,
+        core_size: usize,
+        num_base_arcs: usize,
+        arcs: Vec<TopoArc>,
+        orig_to_arena: Vec<Option<u32>>,
+    ) -> Self {
+        let n = order.len();
+        let core_floor = (n - core_size) as u32;
+        // Membership in the up lists is a pure rank function: an arc is
+        // upward-forward out of its tail when the head outranks it, and
+        // core-core arcs appear in *both* lists (the uncontracted core is
+        // crossed by A*, which needs full mutual adjacency).
+        let mut up_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut up_in: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (id, arc) in arcs.iter().enumerate() {
+            let (rt, rh) = (rank[arc.tail.index()], rank[arc.head.index()]);
+            let both_core = rt >= core_floor && rh >= core_floor;
+            if rt < rh || both_core {
+                up_out[arc.tail.index()].push(id as u32);
+            }
+            if rh < rt || both_core {
+                up_in[arc.head.index()].push(id as u32);
+            }
         }
-        index.stats.shortcuts = index.count_shortcuts();
-        index
+        for list in up_out.iter_mut() {
+            list.sort_unstable_by_key(|&id| arcs[id as usize].head.0);
+        }
+        for list in up_in.iter_mut() {
+            list.sort_unstable_by_key(|&id| arcs[id as usize].tail.0);
+        }
+        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); arcs.len()];
+        for (id, arc) in arcs.iter().enumerate() {
+            for t in &arc.triangles {
+                dependents[t.uv as usize].push(id as u32);
+                dependents[t.vw as usize].push(id as u32);
+            }
+        }
+        let mut level_order: Vec<u32> = (0..arcs.len() as u32).collect();
+        level_order.sort_unstable_by_key(|&id| (arcs[id as usize].level, id));
+        FedChTopology {
+            order,
+            rank,
+            core_size,
+            num_base_arcs,
+            arcs,
+            up_out,
+            up_in,
+            dependents,
+            level_order,
+            orig_to_arena,
+        }
+    }
+
+    /// Number of overlay arcs in the arena.
+    pub fn num_overlay_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Number of pure shortcut arcs (no base-graph backing).
+    pub fn num_shortcuts(&self) -> usize {
+        self.arcs.iter().filter(|a| a.orig.is_none()).count()
+    }
+
+    /// Total lower triangles — the full-customization work unit.
+    pub fn num_triangles(&self) -> usize {
+        self.arcs.iter().map(|a| a.triangles.len()).sum()
     }
 
     /// Number of uncontracted core vertices.
     pub fn core_size(&self) -> usize {
-        self.order.len() - self.log.len()
+        self.core_size
+    }
+}
+
+/// The federated contraction-hierarchy index: a shared metric-independent
+/// [`FedChTopology`] plus this metric's customized per-silo weights.
+///
+/// Serializable so silos can persist it between sessions — **each silo
+/// must strip the other silos' columns before writing to disk in a real
+/// deployment** (in this coordinator-view codebase the index holds all
+/// partial weight vectors; see [`FedChIndex::silo_view`]).
+#[derive(Clone, Debug)]
+pub struct FedChIndex {
+    topo: Arc<FedChTopology>,
+    /// Per-arena-arc base weights (empty for pure shortcuts): the inputs
+    /// customization folds triangles against.
+    base: Vec<Vec<Weight>>,
+    /// Customized per-silo weights, arena-indexed.
+    weights: Vec<Vec<Weight>>,
+    /// Winning middle per arena arc (`None`: the base arc wins).
+    middle: Vec<Option<VertexId>>,
+    /// Bumped once per effective customization batch; zero-delta batches
+    /// leave it untouched. Snapshot publishers tag query results with it.
+    epoch: u64,
+    stats: FedChStats,
+    last_customize: CustomizeStats,
+}
+
+impl FedChIndex {
+    /// Builds the index: metric-independent topology (no communication)
+    /// followed by a full customization sweep in which every keep-minimum
+    /// decision goes through `cmp` (Fed-SAC). The first `n − core_size`
+    /// vertices of `order` are contracted; the rest stay as the
+    /// uncontracted core that queries cross with A* pruning (the
+    /// combination evaluated in the paper's Figure 7).
+    pub fn build(
+        graph: &Graph,
+        silos: &[SiloWeights],
+        order: &[VertexId],
+        core_size: usize,
+        cmp: &mut dyn JointComparator,
+    ) -> Self {
+        let topo = Arc::new(FedChTopology::build(graph, order, core_size));
+        Self::customize_fresh(topo, silos, cmp)
+    }
+
+    /// Builds an index from an existing topology and the silos' current
+    /// weights — the "new metric" entry point of the CCH split.
+    pub fn customize_fresh(
+        topo: Arc<FedChTopology>,
+        silos: &[SiloWeights],
+        cmp: &mut dyn JointComparator,
+    ) -> Self {
+        let m = topo.arcs.len();
+        let mut base: Vec<Vec<Weight>> = vec![Vec::new(); m];
+        for (id, arc) in topo.arcs.iter().enumerate() {
+            if let Some(a) = arc.orig {
+                base[id] = silos.iter().map(|s| s.weight(a)).collect();
+            }
+        }
+        let stats = FedChStats {
+            overlay_arcs: m as u64,
+            shortcuts: topo.num_shortcuts() as u64,
+            triangles: topo.num_triangles() as u64,
+        };
+        let mut index = FedChIndex {
+            topo,
+            base,
+            weights: vec![Vec::new(); m],
+            middle: vec![None; m],
+            epoch: 0,
+            stats,
+            last_customize: CustomizeStats::default(),
+        };
+        index.last_customize = index.customize_full(cmp);
+        index
+    }
+
+    /// Full bottom-up sweep: recomputes every overlay arc in level order.
+    /// Identical fold per arc as the partial path, which is what makes
+    /// partial customization bit-identical to a rebuild.
+    fn customize_full(&mut self, cmp: &mut dyn JointComparator) -> CustomizeStats {
+        let start = Instant::now();
+        let topo = Arc::clone(&self.topo);
+        let mut stats = CustomizeStats::default();
+        let mut last_level = None;
+        for &id in &topo.level_order {
+            let arc = &topo.arcs[id as usize];
+            let (w, m) = recompute_arc(arc, &self.base[id as usize], &self.weights, cmp);
+            self.weights[id as usize] = w;
+            self.middle[id as usize] = m;
+            stats.touched += 1;
+            if last_level != Some(arc.level) {
+                stats.cone_depth += 1;
+                last_level = Some(arc.level);
+            }
+        }
+        stats.changed = stats.touched;
+        stats.wall_time_s = start.elapsed().as_secs_f64();
+        record_customize_obs(&stats, self.epoch);
+        stats
+    }
+
+    /// Applies a batch of per-silo base-weight changes and recomputes only
+    /// the affected shortcut cone, bottom-up along the fixed topology.
+    ///
+    /// Zero-delta entries (the stored weight already equals the new one)
+    /// are dropped before they can dirty anything; a batch with no
+    /// effective change leaves the index — including its
+    /// [`epoch`](Self::epoch) — untouched. Every keep-minimum decision
+    /// routes through `cmp`, so the recomputed weights are exactly what a
+    /// full rebuild under the new metric would produce.
+    pub fn customize(
+        &mut self,
+        changes: &[WeightChange],
+        cmp: &mut dyn JointComparator,
+    ) -> CustomizeStats {
+        let start = Instant::now();
+        let _span = fedroad_obs::span("fedch.customize");
+        let topo = Arc::clone(&self.topo);
+        let mut stats = CustomizeStats::default();
+        // level → dirty arena ids; the BTree double-sort (levels ascending,
+        // ids ascending within a level) makes the wave deterministic.
+        let mut dirty: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        for ch in changes {
+            let Some(Some(id)) = topo.orig_to_arena.get(ch.arc.index()).copied() else {
+                continue; // self-loops never enter the overlay
+            };
+            let slot = &mut self.base[id as usize][ch.silo];
+            if *slot == ch.weight {
+                continue; // zero-delta: nothing dirtied, epoch untouched
+            }
+            *slot = ch.weight;
+            stats.applied += 1;
+            dirty
+                .entry(topo.arcs[id as usize].level)
+                .or_default()
+                .insert(id);
+        }
+        // Triangle inputs sit at strictly lower levels than their
+        // dependents, so draining levels in ascending order recomputes
+        // every arc after all of its inputs are final.
+        while let Some((_, ids)) = dirty.pop_first() {
+            stats.cone_depth += 1;
+            for id in ids {
+                stats.touched += 1;
+                let arc = &topo.arcs[id as usize];
+                let (w, m) = recompute_arc(arc, &self.base[id as usize], &self.weights, cmp);
+                if w != self.weights[id as usize] || m != self.middle[id as usize] {
+                    self.weights[id as usize] = w;
+                    self.middle[id as usize] = m;
+                    stats.changed += 1;
+                    for &dep in &topo.dependents[id as usize] {
+                        dirty
+                            .entry(topo.arcs[dep as usize].level)
+                            .or_default()
+                            .insert(dep);
+                    }
+                }
+            }
+        }
+        if stats.changed > 0 {
+            self.epoch += 1;
+        }
+        stats.wall_time_s = start.elapsed().as_secs_f64();
+        self.last_customize = stats;
+        record_customize_obs(&stats, self.epoch);
+        stats
     }
 
     /// Updates the index after `changed_arcs` of the base graph changed
-    /// weight (on any silo). Replays the construction, re-running witness
-    /// searches only where a changed arc could have influenced the original
-    /// decisions. Returns the statistics of the run.
+    /// weight (on any silo): reads the silos' current weights for those
+    /// arcs and [`customize`](Self::customize)s. The traffic-refresh entry
+    /// point of §IV "Federated Index Updating".
     pub fn update(
         &mut self,
         graph: &Graph,
         silos: &[SiloWeights],
         changed_arcs: &[ArcId],
         cmp: &mut dyn JointComparator,
-    ) -> FedChStats {
-        let mut dirty_pairs: HashSet<(u32, u32)> = HashSet::new();
-        let mut dirty_new_tails: HashSet<u32> = HashSet::new();
+    ) -> CustomizeStats {
+        debug_assert!(graph.num_arcs() == self.topo.num_base_arcs);
+        let mut changes = Vec::with_capacity(changed_arcs.len() * silos.len());
         for &a in changed_arcs {
-            let (tail, head) = graph.arc_endpoints(a);
-            dirty_pairs.insert((tail.0, head.0));
-        }
-        let n = graph.num_vertices();
-
-        let (mut fwd, mut bwd) = base_overlay(graph, silos);
-        let mut contracted = vec![false; n];
-        let mut new_up_out: Vec<Vec<FedChArc>> = vec![Vec::new(); n];
-        let mut new_up_in: Vec<Vec<FedChArc>> = vec![Vec::new(); n];
-        let mut new_log: Vec<ContractionRecord> = Vec::with_capacity(n);
-        let mut stats = FedChStats::default();
-
-        let contract_count = self.log.len();
-        let old_log = std::mem::take(&mut self.log);
-        for (i, old_record) in old_log.into_iter().enumerate() {
-            let v = self.order[i];
-            let needs_fresh = old_record.relaxed.iter().any(|p| dirty_pairs.contains(p))
-                || old_record
-                    .settled
-                    .iter()
-                    .any(|x| dirty_new_tails.contains(x));
-            if needs_fresh {
-                // Temporarily splice the new lists in so contract_fresh
-                // writes to them.
-                let mut scratch = FedChIndex {
-                    order: self.order.clone(),
-                    rank: self.rank.clone(),
-                    up_out: std::mem::take(&mut new_up_out),
-                    up_in: std::mem::take(&mut new_up_in),
-                    log: Vec::new(),
-                    stats: FedChStats::default(),
-                };
-                let record =
-                    contract_fresh(&mut scratch, &mut fwd, &mut bwd, &mut contracted, v, cmp);
-                new_up_out = scratch.up_out;
-                new_up_in = scratch.up_in;
-                stats.contracted_fresh += 1;
-                // Shortcuts that differ from the old record cascade dirt
-                // upward: re-weighted/removed ones as pair dirt, brand-new
-                // ones additionally as tail dirt (old searches never
-                // relaxed a then-nonexistent arc).
-                let old_pairs: HashSet<(u32, u32)> = old_record
-                    .shortcuts
-                    .iter()
-                    .map(|(u, w, _)| (u.0, w.0))
-                    .collect();
-                for (u, w) in shortcut_diff(&record.shortcuts, &old_record.shortcuts) {
-                    dirty_pairs.insert((u.0, w.0));
-                    if !old_pairs.contains(&(u.0, w.0)) {
-                        dirty_new_tails.insert(u.0);
-                    }
-                }
-                new_log.push(record);
-            } else {
-                // Verbatim replay: identical inputs, identical outputs.
-                stats.replayed += 1;
-                record_up_lists(&mut new_up_out, &mut new_up_in, &fwd, &bwd, &contracted, v);
-                contracted[v.index()] = true;
-                for (u, w, weights) in &old_record.shortcuts {
-                    apply_shortcut(&mut fwd, &mut bwd, *u, *w, weights.clone(), v);
-                }
-                new_log.push(old_record);
+            for (p, s) in silos.iter().enumerate() {
+                changes.push(WeightChange {
+                    arc: a,
+                    silo: p,
+                    weight: s.weight(a),
+                });
             }
         }
+        self.customize(&changes, cmp)
+    }
 
-        // Core vertices: refresh their overlay adjacency.
-        for i in contract_count..n {
-            let v = self.order[i];
-            record_up_lists(&mut new_up_out, &mut new_up_in, &fwd, &bwd, &contracted, v);
-        }
+    /// The shared metric-independent topology.
+    pub fn topology(&self) -> &Arc<FedChTopology> {
+        &self.topo
+    }
 
-        self.up_out = new_up_out;
-        self.up_in = new_up_in;
-        self.log = new_log;
-        stats.shortcuts = self.count_shortcuts();
-        self.stats = stats;
-        stats
+    /// Number of uncontracted core vertices.
+    pub fn core_size(&self) -> usize {
+        self.topo.core_size
     }
 
     /// Rank of `v` in the contraction order.
     pub fn rank(&self, v: VertexId) -> u32 {
-        self.rank[v.index()]
+        self.topo.rank[v.index()]
     }
 
-    /// Statistics of the last build/update run.
+    /// Index content version: bumped once per effective customization
+    /// batch, untouched by zero-delta batches. Freshly built indexes start
+    /// at epoch 0.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Topology statistics (fixed at build time).
     pub fn stats(&self) -> FedChStats {
         self.stats
     }
 
-    /// Total shortcut arcs in the hierarchy.
-    fn count_shortcuts(&self) -> u64 {
-        self.up_out
+    /// Statistics of the most recent customization run (the full build
+    /// sweep counts as one).
+    pub fn last_customize(&self) -> CustomizeStats {
+        self.last_customize
+    }
+
+    /// Upward forward arcs of `v`, materialized (test/bench hook — queries
+    /// iterate the arena through [`FedChView`] instead).
+    pub fn up_out(&self, v: VertexId) -> Vec<FedChArc> {
+        self.topo.up_out[v.index()]
             .iter()
-            .chain(self.up_in.iter())
-            .flatten()
-            .filter(|a| a.middle.is_some())
-            .count() as u64
+            .map(|&id| FedChArc {
+                head: self.topo.arcs[id as usize].head,
+                weights: self.weights[id as usize].clone(),
+                middle: self.middle[id as usize],
+            })
+            .collect()
     }
 
-    /// Upward forward arcs of `v` (test/bench hook).
-    pub fn up_out(&self, v: VertexId) -> &[FedChArc] {
-        &self.up_out[v.index()]
-    }
-
-    /// Upward backward arcs of `v` (test/bench hook).
-    pub fn up_in(&self, v: VertexId) -> &[FedChArc] {
-        &self.up_in[v.index()]
+    /// Upward backward arcs of `v`, materialized (test/bench hook).
+    pub fn up_in(&self, v: VertexId) -> Vec<FedChArc> {
+        self.topo.up_in[v.index()]
+            .iter()
+            .map(|&id| FedChArc {
+                head: self.topo.arcs[id as usize].tail,
+                weights: self.weights[id as usize].clone(),
+                middle: self.middle[id as usize],
+            })
+            .collect()
     }
 
     /// Serializes the index to JSON (persistence between sessions).
     pub fn to_json(&self) -> Result<String, JsonError> {
-        let arcs = |lists: &[Vec<FedChArc>]| -> Value {
-            Value::Arr(
-                lists
-                    .iter()
-                    .map(|list| Value::Arr(list.iter().map(arc_to_value).collect()))
-                    .collect(),
-            )
+        let weight_rows = |rows: &[Vec<Weight>]| -> Value {
+            Value::Arr(rows.iter().map(|row| weights_to_value(row)).collect())
         };
         let doc = Value::Obj(vec![
             (
                 "order".into(),
-                Value::Arr(self.order.iter().map(|v| Value::Int(v.0 as i128)).collect()),
+                Value::Arr(
+                    self.topo
+                        .order
+                        .iter()
+                        .map(|v| Value::Int(v.0 as i128))
+                        .collect(),
+                ),
             ),
+            ("core_size".into(), Value::Int(self.topo.core_size as i128)),
             (
-                "rank".into(),
-                Value::Arr(self.rank.iter().map(|&r| Value::Int(r as i128)).collect()),
+                "num_base_arcs".into(),
+                Value::Int(self.topo.num_base_arcs as i128),
             ),
-            ("up_out".into(), arcs(&self.up_out)),
-            ("up_in".into(), arcs(&self.up_in)),
+            ("epoch".into(), Value::Int(self.epoch as i128)),
             (
-                "log".into(),
-                Value::Arr(self.log.iter().map(record_to_value).collect()),
+                "arcs".into(),
+                Value::Arr(self.topo.arcs.iter().map(topo_arc_to_value).collect()),
             ),
+            ("base".into(), weight_rows(&self.base)),
+            ("weights".into(), weight_rows(&self.weights)),
             (
-                "stats".into(),
-                Value::Obj(vec![
-                    (
-                        "contracted_fresh".into(),
-                        Value::Int(self.stats.contracted_fresh as i128),
-                    ),
-                    ("replayed".into(), Value::Int(self.stats.replayed as i128)),
-                    ("shortcuts".into(), Value::Int(self.stats.shortcuts as i128)),
-                ]),
+                "middle".into(),
+                Value::Arr(
+                    self.middle
+                        .iter()
+                        .map(|m| match m {
+                            Some(v) => Value::Int(v.0 as i128),
+                            None => Value::Null,
+                        })
+                        .collect(),
+                ),
             ),
         ]);
         Ok(doc.to_json())
@@ -335,40 +638,88 @@ impl FedChIndex {
     /// Restores an index serialized with [`Self::to_json`].
     pub fn from_json(json: &str) -> Result<Self, JsonError> {
         let doc = Value::parse(json)?;
-        let arcs = |key: &str| -> Result<Vec<Vec<FedChArc>>, JsonError> {
+        let order: Vec<VertexId> = doc
+            .get("order")?
+            .as_arr()?
+            .iter()
+            .map(|v| v.as_u32().map(VertexId))
+            .collect::<Result<_, _>>()?;
+        let core_size = doc.get("core_size")?.as_u64()? as usize;
+        let num_base_arcs = doc.get("num_base_arcs")?.as_u64()? as usize;
+        let epoch = doc.get("epoch")?.as_u64()?;
+        let arcs: Vec<TopoArc> = doc
+            .get("arcs")?
+            .as_arr()?
+            .iter()
+            .map(topo_arc_from_value)
+            .collect::<Result<_, _>>()?;
+        let n = order.len();
+        let mut rank = vec![0u32; n];
+        for (r, &v) in order.iter().enumerate() {
+            let slot = rank
+                .get_mut(v.index())
+                .ok_or_else(|| JsonError::Schema("order vertex out of range".into()))?;
+            *slot = r as u32;
+        }
+        // Levels and the orig mapping are redundant with the arena; rebuild
+        // both rather than trusting the document.
+        let mut arcs = arcs;
+        let mut orig_to_arena: Vec<Option<u32>> = vec![None; num_base_arcs];
+        for (id, arc) in arcs.iter_mut().enumerate() {
+            let (rt, rh) = (
+                *rank
+                    .get(arc.tail.index())
+                    .ok_or_else(|| JsonError::Schema("arc tail out of range".into()))?,
+                *rank
+                    .get(arc.head.index())
+                    .ok_or_else(|| JsonError::Schema("arc head out of range".into()))?,
+            );
+            arc.level = rt.min(rh);
+            if let Some(a) = arc.orig {
+                let slot = orig_to_arena
+                    .get_mut(a.index())
+                    .ok_or_else(|| JsonError::Schema("orig arc out of range".into()))?;
+                *slot = Some(id as u32);
+            }
+        }
+        let weight_rows = |key: &str| -> Result<Vec<Vec<Weight>>, JsonError> {
             doc.get(key)?
                 .as_arr()?
                 .iter()
-                .map(|list| list.as_arr()?.iter().map(arc_from_value).collect())
+                .map(weights_from_value)
                 .collect()
         };
-        let stats = doc.get("stats")?;
+        let base = weight_rows("base")?;
+        let weights = weight_rows("weights")?;
+        let middle: Vec<Option<VertexId>> = doc
+            .get("middle")?
+            .as_arr()?
+            .iter()
+            .map(|m| match m {
+                Value::Null => Ok(None),
+                v => v.as_u32().map(|x| Some(VertexId(x))),
+            })
+            .collect::<Result<_, _>>()?;
+        if base.len() != arcs.len() || weights.len() != arcs.len() || middle.len() != arcs.len() {
+            return Err(JsonError::Schema(
+                "weight/middle rows must match the arena".into(),
+            ));
+        }
+        let topo =
+            FedChTopology::finish(order, rank, core_size, num_base_arcs, arcs, orig_to_arena);
+        let stats = FedChStats {
+            overlay_arcs: topo.arcs.len() as u64,
+            shortcuts: topo.num_shortcuts() as u64,
+            triangles: topo.num_triangles() as u64,
+        };
         Ok(FedChIndex {
-            order: doc
-                .get("order")?
-                .as_arr()?
-                .iter()
-                .map(|v| v.as_u32().map(VertexId))
-                .collect::<Result<_, _>>()?,
-            rank: doc
-                .get("rank")?
-                .as_arr()?
-                .iter()
-                .map(Value::as_u32)
-                .collect::<Result<_, _>>()?,
-            up_out: arcs("up_out")?,
-            up_in: arcs("up_in")?,
-            log: doc
-                .get("log")?
-                .as_arr()?
-                .iter()
-                .map(record_from_value)
-                .collect::<Result<_, _>>()?,
-            stats: FedChStats {
-                contracted_fresh: stats.get("contracted_fresh")?.as_u64()?,
-                replayed: stats.get("replayed")?.as_u64()?,
-                shortcuts: stats.get("shortcuts")?.as_u64()?,
-            },
+            topo: Arc::new(topo),
+            base,
+            weights,
+            middle,
+            epoch,
+            stats,
+            last_customize: CustomizeStats::default(),
         })
     }
 
@@ -376,35 +727,77 @@ impl FedChIndex {
     /// every partial-weight vector reduced to that silo's single column —
     /// what a real silo would persist locally.
     pub fn silo_view(&self, p: usize) -> FedChIndex {
-        let strip = |arcs: &Vec<FedChArc>| -> Vec<FedChArc> {
-            arcs.iter()
-                .map(|a| FedChArc {
-                    head: a.head,
-                    weights: vec![a.weights[p]],
-                    middle: a.middle,
+        let strip = |rows: &[Vec<Weight>]| -> Vec<Vec<Weight>> {
+            rows.iter()
+                .map(|row| {
+                    if row.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![row[p]]
+                    }
                 })
                 .collect()
         };
         FedChIndex {
-            order: self.order.clone(),
-            rank: self.rank.clone(),
-            up_out: self.up_out.iter().map(strip).collect(),
-            up_in: self.up_in.iter().map(strip).collect(),
-            log: self
-                .log
-                .iter()
-                .map(|r| ContractionRecord {
-                    relaxed: r.relaxed.clone(),
-                    settled: r.settled.clone(),
-                    shortcuts: r
-                        .shortcuts
-                        .iter()
-                        .map(|(u, w, ws)| (*u, *w, vec![ws[p]]))
-                        .collect(),
-                })
-                .collect(),
+            topo: Arc::clone(&self.topo),
+            base: strip(&self.base),
+            weights: strip(&self.weights),
+            middle: self.middle.clone(),
+            epoch: self.epoch,
             stats: self.stats,
+            last_customize: self.last_customize,
         }
+    }
+}
+
+/// Recomputes one arc's customized weight: the base weight (when backed by
+/// an original arc) folded with every lower triangle's via cost, each
+/// keep-minimum decided by `cmp`. The fold order is fixed (base first,
+/// triangles in creation order), so identical inputs always reproduce
+/// identical outputs — the bit-identity invariant behind partial updates.
+fn recompute_arc(
+    arc: &TopoArc,
+    base: &[Weight],
+    weights: &[Vec<Weight>],
+    cmp: &mut dyn JointComparator,
+) -> (Vec<Weight>, Option<VertexId>) {
+    let via = |t: &Triangle| -> Vec<Weight> {
+        weights[t.uv as usize]
+            .iter()
+            .zip(&weights[t.vw as usize])
+            .map(|(a, b)| a + b)
+            .collect()
+    };
+    let mut tris = arc.triangles.iter();
+    let (mut best, mut mid) = if !base.is_empty() {
+        (base.to_vec(), None)
+    } else if let Some(t) = tris.next() {
+        (via(t), Some(t.middle))
+    } else {
+        // Unreachable by construction (every overlay arc is original or
+        // carries a triangle); keep the hot path panic-free regardless.
+        return (Vec::new(), None);
+    };
+    for t in tris {
+        let cand = via(t);
+        let ck: PartialKey = cand.iter().map(|&x| x as i64).collect();
+        let bk: PartialKey = best.iter().map(|&x| x as i64).collect();
+        if cmp.less(&ck, &bk) {
+            best = cand;
+            mid = Some(t.middle);
+        }
+    }
+    (best, mid)
+}
+
+/// Emits the customization telemetry: epoch gauge, cone counters, and the
+/// latency histogram the live-traffic bench reads back.
+fn record_customize_obs(stats: &CustomizeStats, epoch: u64) {
+    fedroad_obs::gauge_set("fedch.epoch", epoch);
+    if fedroad_obs::is_active() {
+        fedroad_obs::counter_add("fedch.customize.touched", stats.touched);
+        fedroad_obs::counter_add("fedch.customize.changed", stats.changed);
+        fedroad_obs::hist_record("fedch.customize_ns", (stats.wall_time_s * 1e9) as u64);
     }
 }
 
@@ -416,56 +809,27 @@ fn weights_from_value(v: &Value) -> Result<Vec<Weight>, JsonError> {
     v.as_arr()?.iter().map(Value::as_u64).collect()
 }
 
-fn arc_to_value(arc: &FedChArc) -> Value {
+fn topo_arc_to_value(arc: &TopoArc) -> Value {
     Value::Obj(vec![
+        ("tail".into(), Value::Int(arc.tail.0 as i128)),
         ("head".into(), Value::Int(arc.head.0 as i128)),
-        ("weights".into(), weights_to_value(&arc.weights)),
         (
-            "middle".into(),
-            match arc.middle {
-                Some(m) => Value::Int(m.0 as i128),
+            "orig".into(),
+            match arc.orig {
+                Some(a) => Value::Int(a.0 as i128),
                 None => Value::Null,
             },
         ),
-    ])
-}
-
-fn arc_from_value(v: &Value) -> Result<FedChArc, JsonError> {
-    Ok(FedChArc {
-        head: VertexId(v.get("head")?.as_u32()?),
-        weights: weights_from_value(v.get("weights")?)?,
-        middle: match v.get("middle")? {
-            Value::Null => None,
-            m => Some(VertexId(m.as_u32()?)),
-        },
-    })
-}
-
-fn record_to_value(r: &ContractionRecord) -> Value {
-    Value::Obj(vec![
         (
-            "relaxed".into(),
+            "tris".into(),
             Value::Arr(
-                r.relaxed
+                arc.triangles
                     .iter()
-                    .map(|&(a, b)| Value::Arr(vec![Value::Int(a as i128), Value::Int(b as i128)]))
-                    .collect(),
-            ),
-        ),
-        (
-            "settled".into(),
-            Value::Arr(r.settled.iter().map(|&s| Value::Int(s as i128)).collect()),
-        ),
-        (
-            "shortcuts".into(),
-            Value::Arr(
-                r.shortcuts
-                    .iter()
-                    .map(|(u, w, ws)| {
+                    .map(|t| {
                         Value::Arr(vec![
-                            Value::Int(u.0 as i128),
-                            Value::Int(w.0 as i128),
-                            weights_to_value(ws),
+                            Value::Int(t.middle.0 as i128),
+                            Value::Int(t.uv as i128),
+                            Value::Int(t.vw as i128),
                         ])
                     })
                     .collect(),
@@ -474,366 +838,32 @@ fn record_to_value(r: &ContractionRecord) -> Value {
     ])
 }
 
-fn record_from_value(v: &Value) -> Result<ContractionRecord, JsonError> {
-    let pair = |p: &Value| -> Result<(u32, u32), JsonError> {
-        match p.as_arr()? {
-            [a, b] => Ok((a.as_u32()?, b.as_u32()?)),
-            _ => Err(JsonError::Schema("expected [tail, head] pair".into())),
+fn topo_arc_from_value(v: &Value) -> Result<TopoArc, JsonError> {
+    let tri = |t: &Value| -> Result<Triangle, JsonError> {
+        match t.as_arr()? {
+            [m, uv, vw] => Ok(Triangle {
+                middle: VertexId(m.as_u32()?),
+                uv: uv.as_u32()?,
+                vw: vw.as_u32()?,
+            }),
+            _ => Err(JsonError::Schema("expected [middle, uv, vw] triple".into())),
         }
     };
-    let shortcut = |s: &Value| -> Result<(VertexId, VertexId, Vec<Weight>), JsonError> {
-        match s.as_arr()? {
-            [u, w, ws] => Ok((
-                VertexId(u.as_u32()?),
-                VertexId(w.as_u32()?),
-                weights_from_value(ws)?,
-            )),
-            _ => Err(JsonError::Schema("expected [u, w, weights] triple".into())),
-        }
-    };
-    Ok(ContractionRecord {
-        relaxed: v
-            .get("relaxed")?
+    Ok(TopoArc {
+        tail: VertexId(v.get("tail")?.as_u32()?),
+        head: VertexId(v.get("head")?.as_u32()?),
+        orig: match v.get("orig")? {
+            Value::Null => None,
+            a => Some(ArcId(a.as_u32()?)),
+        },
+        level: 0, // rebuilt from ranks by the caller
+        triangles: v
+            .get("tris")?
             .as_arr()?
             .iter()
-            .map(pair)
-            .collect::<Result<_, _>>()?,
-        settled: v
-            .get("settled")?
-            .as_arr()?
-            .iter()
-            .map(Value::as_u32)
-            .collect::<Result<_, _>>()?,
-        shortcuts: v
-            .get("shortcuts")?
-            .as_arr()?
-            .iter()
-            .map(shortcut)
+            .map(tri)
             .collect::<Result<_, _>>()?,
     })
-}
-
-/// The endpoint pairs whose shortcut entry differs between two contraction
-/// records: added, removed, or carrying different per-silo weights.
-fn shortcut_diff(
-    a: &[(VertexId, VertexId, Vec<Weight>)],
-    b: &[(VertexId, VertexId, Vec<Weight>)],
-) -> Vec<(VertexId, VertexId)> {
-    let index = |s: &[(VertexId, VertexId, Vec<Weight>)]| -> HashMap<(u32, u32), Vec<Weight>> {
-        s.iter()
-            .map(|(u, w, ws)| ((u.0, w.0), ws.clone()))
-            .collect()
-    };
-    let (ia, ib) = (index(a), index(b));
-    let mut out = Vec::new();
-    for (&(u, w), ws) in &ia {
-        if ib.get(&(u, w)) != Some(ws) {
-            out.push((VertexId(u), VertexId(w)));
-        }
-    }
-    for &(u, w) in ib.keys() {
-        if !ia.contains_key(&(u, w)) {
-            out.push((VertexId(u), VertexId(w)));
-        }
-    }
-    out
-}
-
-/// Builds the initial overlay (min-weight arc per ordered pair) from the
-/// base graph.
-fn base_overlay(graph: &Graph, silos: &[SiloWeights]) -> (Overlay, Overlay) {
-    let n = graph.num_vertices();
-    let mut fwd: Overlay = vec![BTreeMap::new(); n];
-    let mut bwd: Overlay = vec![BTreeMap::new(); n];
-    for v in graph.vertices() {
-        for arc in graph.out_arcs(v) {
-            if arc.head == v {
-                continue;
-            }
-            let weights: Vec<Weight> = silos.iter().map(|s| s.weight(arc.id)).collect();
-            // The generators guarantee simple graphs; a parallel arc would
-            // need a consistent (Fed-SAC) min here.
-            fwd[v.index()].insert(
-                arc.head.0,
-                OvArc {
-                    weights: weights.clone(),
-                    middle: None,
-                },
-            );
-            bwd[arc.head.index()].insert(
-                v.0,
-                OvArc {
-                    weights,
-                    middle: None,
-                },
-            );
-        }
-    }
-    (fwd, bwd)
-}
-
-/// Records `v`'s current uncontracted neighbourhood as its upward arcs.
-fn record_up_lists(
-    up_out: &mut [Vec<FedChArc>],
-    up_in: &mut [Vec<FedChArc>],
-    fwd: &Overlay,
-    bwd: &Overlay,
-    contracted: &[bool],
-    v: VertexId,
-) {
-    up_out[v.index()] = fwd[v.index()]
-        .iter()
-        .filter(|(h, _)| !contracted[**h as usize])
-        .map(|(&h, a)| FedChArc {
-            head: VertexId(h),
-            weights: a.weights.clone(),
-            middle: a.middle,
-        })
-        .collect();
-    up_in[v.index()] = bwd[v.index()]
-        .iter()
-        .filter(|(t, _)| !contracted[**t as usize])
-        .map(|(&t, a)| FedChArc {
-            head: VertexId(t),
-            weights: a.weights.clone(),
-            middle: a.middle,
-        })
-        .collect();
-}
-
-/// Writes a shortcut into the overlay unconditionally (replay path).
-fn apply_shortcut(
-    fwd: &mut Overlay,
-    bwd: &mut Overlay,
-    u: VertexId,
-    w: VertexId,
-    weights: Vec<Weight>,
-    middle: VertexId,
-) {
-    fwd[u.index()].insert(
-        w.0,
-        OvArc {
-            weights: weights.clone(),
-            middle: Some(middle),
-        },
-    );
-    bwd[w.index()].insert(
-        u.0,
-        OvArc {
-            weights,
-            middle: Some(middle),
-        },
-    );
-}
-
-/// Contracts `v` with fresh federated witness searches; returns the log
-/// record. Writes `v`'s upward lists into `index`.
-fn contract_fresh(
-    index: &mut FedChIndex,
-    fwd: &mut Overlay,
-    bwd: &mut Overlay,
-    contracted: &mut [bool],
-    v: VertexId,
-    cmp: &mut dyn JointComparator,
-) -> ContractionRecord {
-    record_up_lists(&mut index.up_out, &mut index.up_in, fwd, bwd, contracted, v);
-    let ins: Vec<(u32, Vec<Weight>)> = bwd[v.index()]
-        .iter()
-        .filter(|(u, _)| !contracted[**u as usize])
-        .map(|(&u, a)| (u, a.weights.clone()))
-        .collect();
-    let outs: Vec<(u32, Vec<Weight>)> = fwd[v.index()]
-        .iter()
-        .filter(|(w, _)| !contracted[**w as usize])
-        .map(|(&w, a)| (w, a.weights.clone()))
-        .collect();
-    contracted[v.index()] = true;
-
-    // Everything this contraction reads: its incident arcs up front,
-    // witness relaxations as they happen.
-    let mut relaxed: HashSet<(u32, u32)> = HashSet::new();
-    let mut settled_log: HashSet<u32> = HashSet::new();
-    for (u, _) in &ins {
-        relaxed.insert((*u, v.0));
-    }
-    for (w, _) in &outs {
-        relaxed.insert((v.0, *w));
-    }
-
-    let mut shortcuts: Vec<(VertexId, VertexId, Vec<Weight>)> = Vec::new();
-    for (u, w_uv) in &ins {
-        let targets: Vec<(u32, Vec<Weight>)> = outs
-            .iter()
-            .filter(|(w, _)| w != u)
-            .map(|(w, w_vw)| {
-                (
-                    *w,
-                    w_uv.iter()
-                        .zip(w_vw)
-                        .map(|(a, b)| a + b)
-                        .collect::<Vec<Weight>>(),
-                )
-            })
-            .collect();
-        if targets.is_empty() {
-            continue;
-        }
-        // Federated witness search from u over the uncontracted remainder
-        // (v itself is already flagged), bounded by the largest via cost:
-        // targets not settled within the bound need their shortcut anyway.
-        let witness = fed_witness_search(
-            fwd,
-            contracted,
-            VertexId(*u),
-            &targets,
-            cmp,
-            &mut relaxed,
-            &mut settled_log,
-        );
-        for (w, w_vw) in &outs {
-            if w == u {
-                continue;
-            }
-            let via: Vec<Weight> = w_uv.iter().zip(w_vw).map(|(a, b)| a + b).collect();
-            let via_key: PartialKey = via.iter().map(|&x| x as i64).collect();
-            let needed = match witness.get(w) {
-                // Shortcut needed iff no witness path is as short, i.e. the
-                // via path is strictly shorter than the best alternative.
-                Some(wd) => {
-                    let wd_key: PartialKey = wd.iter().map(|&x| x as i64).collect();
-                    cmp.less(&via_key, &wd_key)
-                }
-                // Target not settled within the limit: conservative add.
-                None => true,
-            };
-            if !needed {
-                continue;
-            }
-            // Keep the minimum if an arc (u, w) already exists — decided
-            // jointly so all silos stay consistent.
-            let final_weights = match fwd[*u as usize].get(w) {
-                Some(existing) => {
-                    let ex_key: PartialKey = existing.weights.iter().map(|&x| x as i64).collect();
-                    if cmp.less(&via_key, &ex_key) {
-                        via.clone()
-                    } else {
-                        continue; // existing arc already at least as good
-                    }
-                }
-                None => via.clone(),
-            };
-            apply_shortcut(
-                fwd,
-                bwd,
-                VertexId(*u),
-                VertexId(*w),
-                final_weights.clone(),
-                v,
-            );
-            shortcuts.push((VertexId(*u), VertexId(*w), final_weights));
-        }
-    }
-
-    let mut relaxed: Vec<(u32, u32)> = relaxed.into_iter().collect();
-    relaxed.sort_unstable();
-    let mut settled: Vec<u32> = settled_log.into_iter().collect();
-    settled.sort_unstable();
-    ContractionRecord {
-        relaxed,
-        settled,
-        shortcuts,
-    }
-}
-
-/// Federated Dijkstra over the overlay from `source`, stopping when all
-/// targets settle, the frontier passes the largest via cost (one Fed-SAC
-/// per settle), or the settle limit trips. Returns settled target partial
-/// costs; records every vertex examined into `touched`.
-#[allow(clippy::too_many_arguments)]
-fn fed_witness_search(
-    fwd: &Overlay,
-    contracted: &[bool],
-    source: VertexId,
-    targets: &[(u32, Vec<Weight>)],
-    cmp: &mut dyn JointComparator,
-    relaxed: &mut HashSet<(u32, u32)>,
-    settled_log: &mut HashSet<u32>,
-) -> HashMap<u32, Vec<Weight>> {
-    // Keys are secret partial vectors, so the queue must be driven by
-    // Fed-SAC comparisons; the TM-tree keeps their number minimal even
-    // inside construction.
-    use fedroad_queue::{PriorityQueue, TmTree, DEFAULT_ALPHA};
-    struct QE {
-        v: u32,
-        g: Vec<Weight>,
-        key: PartialKey,
-    }
-    impl QE {
-        fn new(v: u32, g: Vec<Weight>) -> Self {
-            let key = g.iter().map(|&x| x as i64).collect();
-            QE { v, g, key }
-        }
-    }
-    impl KeyedEntry for QE {
-        fn key(&self) -> &PartialKey {
-            &self.key
-        }
-    }
-
-    // Secure max of the via costs: the search never needs to look past it
-    // (a target unreached below the bound gets its shortcut regardless).
-    let mut threshold: PartialKey = targets[0].1.iter().map(|&x| x as i64).collect();
-    for (_, via) in &targets[1..] {
-        let cand: PartialKey = via.iter().map(|&x| x as i64).collect();
-        if cmp.less(&threshold, &cand) {
-            threshold = cand;
-        }
-    }
-
-    let mut queue: TmTree<QE> = TmTree::new(DEFAULT_ALPHA);
-    let mut settled: HashSet<u32> = HashSet::new();
-    let mut remaining: HashSet<u32> = targets.iter().map(|(t, _)| *t).collect();
-    let mut out: HashMap<u32, Vec<Weight>> = HashMap::new();
-    let silo_count = targets[0].1.len();
-
-    queue.push(
-        QE::new(source.0, vec![0; silo_count]),
-        &mut EntryComparator::new(cmp),
-    );
-    settled_log.insert(source.0);
-
-    while !remaining.is_empty() && settled.len() < WITNESS_SETTLE_LIMIT {
-        let Some(e) = queue.pop(&mut EntryComparator::new(cmp)) else {
-            break;
-        };
-        if settled.contains(&e.v) {
-            continue;
-        }
-        // Bound check: once the frontier passes the largest via cost, all
-        // remaining witness questions are answered "no witness".
-        if cmp.less(&threshold, &e.key) {
-            break;
-        }
-        settled.insert(e.v);
-        settled_log.insert(e.v);
-        if remaining.remove(&e.v) {
-            out.insert(e.v, e.g.clone());
-            if remaining.is_empty() {
-                break;
-            }
-        }
-        let mut batch = Vec::new();
-        for (&head, arc) in &fwd[e.v as usize] {
-            if contracted[head as usize] || settled.contains(&head) {
-                continue;
-            }
-            relaxed.insert((e.v, head));
-            let g: Vec<Weight> = e.g.iter().zip(&arc.weights).map(|(a, b)| a + b).collect();
-            batch.push(QE::new(head, g));
-        }
-        queue.push_batch(batch, &mut EntryComparator::new(cmp));
-    }
-    out
 }
 
 /// [`SearchView`] over the federated hierarchy's upward graphs — plugging
@@ -856,26 +886,41 @@ impl<'a> FedChView<'a> {
 
 impl SearchView for FedChView<'_> {
     fn expand(&self, v: VertexId, dir: Direction, f: &mut ArcVisitor<'_>) {
-        let arcs = match dir {
-            Direction::Forward => &self.index.up_out[v.index()],
-            Direction::Backward => &self.index.up_in[v.index()],
-        };
-        for arc in arcs {
-            f(arc.head, &arc.weights, arc.middle);
+        let topo = &*self.index.topo;
+        match dir {
+            Direction::Forward => {
+                for &id in &topo.up_out[v.index()] {
+                    f(
+                        topo.arcs[id as usize].head,
+                        &self.index.weights[id as usize],
+                        self.index.middle[id as usize],
+                    );
+                }
+            }
+            Direction::Backward => {
+                for &id in &topo.up_in[v.index()] {
+                    f(
+                        topo.arcs[id as usize].tail,
+                        &self.index.weights[id as usize],
+                        self.index.middle[id as usize],
+                    );
+                }
+            }
         }
     }
 
     fn arc_middle(&self, tail: VertexId, head: VertexId) -> Option<Option<VertexId>> {
+        let topo = &*self.index.topo;
         if self.index.rank(tail) < self.index.rank(head) {
-            self.index.up_out[tail.index()]
+            topo.up_out[tail.index()]
                 .iter()
-                .find(|a| a.head == head)
-                .map(|a| a.middle)
+                .find(|&&id| topo.arcs[id as usize].head == head)
+                .map(|&id| self.index.middle[id as usize])
         } else {
-            self.index.up_in[head.index()]
+            topo.up_in[head.index()]
                 .iter()
-                .find(|a| a.head == tail)
-                .map(|a| a.middle)
+                .find(|&&id| topo.arcs[id as usize].tail == tail)
+                .map(|&id| self.index.middle[id as usize])
         }
     }
 
@@ -890,8 +935,8 @@ impl SearchView for FedChView<'_> {
     }
 
     fn is_core(&self, v: VertexId) -> bool {
-        let n = self.index.order.len();
-        self.index.rank(v) as usize >= n - self.index.core_size()
+        let n = self.index.topo.order.len();
+        self.index.rank(v) as usize >= n - self.index.topo.core_size
     }
 }
 
@@ -956,6 +1001,7 @@ mod tests {
         let oracle = JointOracle::new(&fed);
         let index = build_index(&mut fed);
         assert!(index.stats().shortcuts > 0);
+        assert!(index.stats().triangles > 0);
         let n = fed.graph().num_vertices() as u32;
         for (s, t) in [(0, n - 1), (5, 77), (88, 12), (40, 41), (13, 93)] {
             let (s, t) = (VertexId(s), VertexId(t));
@@ -981,9 +1027,8 @@ mod tests {
                     continue;
                 }
                 let joint: u64 = arc.weights.iter().sum();
-                // The via path is real, so its joint weight is at least the
-                // true joint distance; witness pruning ensures it *is* the
-                // distance when the shortcut was needed at build time.
+                // The winning via path is a real path, so its joint weight
+                // is at least the true joint distance.
                 let (d, _) = oracle.spsp_scaled(&fed, v, arc.head).unwrap();
                 assert!(joint >= d, "shortcut below true distance");
                 checked += 1;
@@ -993,47 +1038,49 @@ mod tests {
     }
 
     #[test]
-    fn inconsistent_local_indices_give_wrong_answers() {
-        // The paper's §IV motivating failure: silos that compute shortcut
-        // weights from their own *local* witness paths produce a joint
-        // index whose aggregated weights are wrong.
-        let mut fed = make_fed(35, 2);
-        let oracle = JointOracle::new(&fed);
-        let order = contraction_order(fed.graph(), 0);
-        let graph = fed.graph().clone();
-        // Build each silo's CH independently (local witnesses!).
-        let ch0 = fedroad_graph::ch::build_ch(&graph, fed.silo(0).as_slice(), &order);
-        let ch1 = fedroad_graph::ch::build_ch(&graph, fed.silo(1).as_slice(), &order);
-        // Find a vertex pair where the independently-built hierarchies
-        // disagree on the *shortcut structure* — the inconsistency that
-        // would corrupt a federated query.
-        let mut structural_mismatch = false;
-        for v in graph.vertices() {
-            let heads0: std::collections::BTreeSet<u32> =
-                ch0.up_out(v).iter().map(|a| a.head.0).collect();
-            let heads1: std::collections::BTreeSet<u32> =
-                ch1.up_out(v).iter().map(|a| a.head.0).collect();
-            if heads0 != heads1 {
-                structural_mismatch = true;
-                break;
-            }
+    fn topology_is_metric_independent() {
+        // The same graph under two different congestion patterns yields the
+        // same arena — only the customized weights differ. This is the
+        // invariant that makes weight refreshes pure re-customization.
+        let g = grid_city(&GridCityParams::small(), 43);
+        let order = contraction_order(&g, 0);
+        let core = (order.len() / 10).max(1);
+        let make = |level: CongestionLevel| -> FedChIndex {
+            let w = gen_silo_weights(&g, level, 2, 43);
+            let mut fed = Federation::new(
+                g.clone(),
+                w,
+                FederationConfig {
+                    backend: SacBackend::Modeled,
+                    seed: 43,
+                },
+            );
+            let (graph, silos, engine) = fed.split_mut();
+            let mut cmp = SacComparator::new(engine);
+            FedChIndex::build(graph, silos, &order, core, &mut cmp)
+        };
+        let a = make(CongestionLevel::Slight);
+        let b = make(CongestionLevel::Heavy);
+        assert_eq!(a.stats().overlay_arcs, b.stats().overlay_arcs);
+        assert_eq!(a.stats().shortcuts, b.stats().shortcuts);
+        assert_eq!(a.stats().triangles, b.stats().triangles);
+        for v in g.vertices() {
+            let heads = |idx: &FedChIndex| -> Vec<u32> {
+                idx.up_out(v).iter().map(|arc| arc.head.0).collect()
+            };
+            assert_eq!(
+                heads(&a),
+                heads(&b),
+                "shortcut structure must not depend on weights"
+            );
         }
-        assert!(
-            structural_mismatch,
-            "independently built hierarchies should diverge under congestion"
-        );
-        // Meanwhile the federated index stays consistent and exact.
-        let index = build_index(&mut fed);
-        let (s, t) = (VertexId(0), VertexId(90));
-        let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
-        let (cost, _) = ch_query(&mut fed, &index, s, t);
-        assert_eq!(cost, truth);
     }
 
     #[test]
-    fn update_tracks_weight_changes_exactly() {
+    fn update_touches_a_cone_not_the_graph() {
         let mut fed = make_fed(37, 3);
         let mut index = build_index(&mut fed);
+        let total_arcs = index.stats().overlay_arcs;
 
         // Perturb a small set of arcs on silo 1.
         let graph = fed.graph().clone();
@@ -1053,10 +1100,13 @@ mod tests {
             let mut cmp = SacComparator::new(engine);
             index.update(graph, silos, &changed, &mut cmp)
         };
+        assert!(stats.applied > 0);
+        assert!(stats.touched > 0);
         assert!(
-            stats.replayed > 0,
-            "a small change should leave most contractions replayed"
+            stats.touched < total_arcs,
+            "a small change must not recompute the whole overlay: {stats:?}"
         );
+        assert_eq!(index.epoch(), 1, "an effective batch bumps the epoch once");
         let oracle = JointOracle::new(&fed);
         let n = graph.num_vertices() as u32;
         for (s, t) in [(0, n - 1), (11, 60), (95, 4), (50, 51)] {
@@ -1068,23 +1118,37 @@ mod tests {
     }
 
     #[test]
-    fn update_with_no_changes_replays_everything() {
+    fn update_with_no_changes_is_free() {
         let mut fed = make_fed(39, 2);
         let mut index = build_index(&mut fed);
-        let contracted = (fed.graph().num_vertices() - index.core_size()) as u64;
         let stats = {
             let (graph, silos, engine) = fed.split_mut();
             let mut cmp = SacComparator::new(engine);
             index.update(graph, silos, &[], &mut cmp)
         };
-        assert_eq!(stats.contracted_fresh, 0);
-        assert_eq!(stats.replayed, contracted);
+        assert_eq!(stats.applied, 0);
+        assert_eq!(stats.touched, 0);
+        assert_eq!(index.epoch(), 0, "a no-op batch must not bump the epoch");
+
+        // Re-announcing arcs whose weights did not actually change is the
+        // same no-op: the zero-delta filter catches them.
+        let all: Vec<ArcId> = (0..fed.graph().num_arcs())
+            .map(|i| ArcId(i as u32))
+            .collect();
+        let stats = {
+            let (graph, silos, engine) = fed.split_mut();
+            let mut cmp = SacComparator::new(engine);
+            index.update(graph, silos, &all, &mut cmp)
+        };
+        assert_eq!(stats.applied, 0);
+        assert_eq!(stats.touched, 0);
+        assert_eq!(index.epoch(), 0);
     }
 
     #[test]
     fn update_cost_scales_with_change_fraction() {
         let fractions = [0.001f64, 0.05];
-        let mut fresh_counts = Vec::new();
+        let mut touched_counts = Vec::new();
         for &frac in &fractions {
             let mut fed = make_fed(41, 2);
             let mut index = build_index(&mut fed);
@@ -1102,11 +1166,33 @@ mod tests {
                 let mut cmp = SacComparator::new(engine);
                 index.update(graph, silos, &changed, &mut cmp)
             };
-            fresh_counts.push(stats.contracted_fresh);
+            touched_counts.push(stats.touched);
         }
         assert!(
-            fresh_counts[0] < fresh_counts[1],
-            "more changes must force more fresh contractions: {fresh_counts:?}"
+            touched_counts[0] < touched_counts[1],
+            "more changes must touch a larger cone: {touched_counts:?}"
+        );
+    }
+
+    #[test]
+    fn customization_shares_the_topology_arena() {
+        let mut fed = make_fed(45, 2);
+        let mut index = build_index(&mut fed);
+        let topo_before = Arc::clone(index.topology());
+        let changed = vec![ArcId(0), ArcId(7)];
+        let mut w = fed.silo(0).as_slice().to_vec();
+        for a in &changed {
+            w[a.index()] += 99;
+        }
+        fed.update_silo_weights(0, w);
+        {
+            let (graph, silos, engine) = fed.split_mut();
+            let mut cmp = SacComparator::new(engine);
+            index.update(graph, silos, &changed, &mut cmp);
+        }
+        assert!(
+            Arc::ptr_eq(&topo_before, index.topology()),
+            "customization must never rebuild the metric-independent arena"
         );
     }
 }
@@ -1162,7 +1248,7 @@ mod hierarchy_property_tests {
                 } else {
                     index.up_in(VertexId(v as u32))
                 };
-                for a in arcs {
+                for a in &arcs {
                     let nd = d + joint(a);
                     if nd < dist[a.head.index()] {
                         dist[a.head.index()] = nd;
@@ -1222,6 +1308,7 @@ mod persistence_tests {
         let (mut fed, index) = make_setup();
         let restored = FedChIndex::from_json(&index.to_json().unwrap()).unwrap();
         // Structures identical.
+        assert_eq!(index.epoch(), restored.epoch());
         for v in fed.graph().vertices() {
             assert_eq!(index.up_out(v), restored.up_out(v));
             assert_eq!(index.up_in(v), restored.up_in(v));

@@ -1,7 +1,7 @@
 //! The traffic-data federation: shared topology, private silo weights, and
 //! the MPC engine binding them together.
 
-use fedroad_graph::{Graph, Weight};
+use fedroad_graph::{ArcId, Graph, Weight};
 use fedroad_mpc::{SacBackend, SacEngine, SacStats};
 
 /// One silo's private real-time weight observation, indexed by arc id.
@@ -165,6 +165,26 @@ impl Federation {
     pub fn update_silo_weights(&mut self, p: usize, weights: Vec<Weight>) {
         assert_eq!(weights.len(), self.graph.num_arcs());
         self.silos[p] = SiloWeights::new(weights);
+    }
+
+    /// Applies a stream of per-silo point updates in place — the
+    /// live-traffic path, which changes a handful of arcs per tick and
+    /// must not clone whole weight vectors. Returns the distinct arcs
+    /// whose weight actually changed on any silo (deduplicated, ascending),
+    /// ready to hand to
+    /// [`QueryEngine::update_index`](crate::engine::QueryEngine::update_index).
+    pub fn apply_weight_updates(&mut self, updates: &[crate::fedch::WeightChange]) -> Vec<ArcId> {
+        let mut changed = std::collections::BTreeSet::new();
+        for u in updates {
+            assert!(u.silo < self.silos.len(), "silo out of range");
+            assert!(u.arc.index() < self.graph.num_arcs(), "arc out of range");
+            let slot = &mut self.silos[u.silo].0[u.arc.index()];
+            if *slot != u.weight {
+                *slot = u.weight;
+                changed.insert(u.arc);
+            }
+        }
+        changed.into_iter().collect()
     }
 }
 

@@ -68,8 +68,11 @@ pub mod sssp;
 pub mod view;
 
 pub use engine::{EngineConfig, Method, QueryEngine, QueryResult, QueryStats};
-pub use executor::{BatchExecutor, BatchOutcome, BatchReport, IndexSnapshot};
-pub use fedch::{FedChIndex, FedChStats, FedChView};
+pub use executor::{
+    BatchExecutor, BatchOutcome, BatchReport, IndexSnapshot, LiveExecutor, LiveQueryResult,
+    SnapshotCell,
+};
+pub use fedch::{CustomizeStats, FedChIndex, FedChStats, FedChTopology, FedChView, WeightChange};
 pub use federation::{Federation, FederationConfig, SiloWeights};
 pub use lb::LowerBoundKind;
 pub use oracle::JointOracle;

@@ -200,6 +200,159 @@ fn approx_std_normal(rng: &mut impl Rng) -> f64 {
     s - 6.0
 }
 
+/// One per-silo point weight update emitted by the live-traffic stream.
+/// (The core crate mirrors this as `WeightChange`; this one lives at the
+/// graph layer so the generator has no upward dependency.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrafficUpdate {
+    /// The affected arc.
+    pub arc: crate::ids::ArcId,
+    /// Which silo observed the new weight.
+    pub silo: usize,
+    /// The silo's new observed weight.
+    pub weight: Weight,
+}
+
+/// A deterministic congestion wave: a jam epicenter random-walking across
+/// the network, slowing every arc within `radius` hops. Each
+/// [`tick`](Self::tick) emits the per-silo weight updates of the arcs
+/// *entering* the wave (slowed by an independent per-silo `θ`) and those
+/// *leaving* it (reverted to their quiescent weights) — a continuous
+/// edge-weight update stream for the live-traffic driver, reproducible
+/// from its seed.
+#[derive(Clone, Debug)]
+pub struct CongestionWave {
+    num_silos: usize,
+    radius: usize,
+    theta_max: f64,
+    epicenter: crate::ids::VertexId,
+    /// Arcs currently inside the wave, with the slowed per-silo weights
+    /// they were announced at (re-announced verbatim while they stay in).
+    slowed: std::collections::BTreeMap<u32, Vec<Weight>>,
+    rng: ChaCha12Rng,
+}
+
+impl CongestionWave {
+    /// Creates a wave over `g` for a `num_silos` federation. `level` sets
+    /// the slowdown range (its `θ_max`), `radius` the wave extent in hops.
+    pub fn new(
+        g: &Graph,
+        num_silos: usize,
+        level: CongestionLevel,
+        radius: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(g.num_vertices() > 0);
+        assert!(num_silos > 0);
+        let (_, theta_max) = level.params();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0xC01D_57A8_7AFF_1C22);
+        let epicenter = crate::ids::VertexId(rng.gen_range(0..g.num_vertices() as u32));
+        CongestionWave {
+            num_silos,
+            radius,
+            theta_max,
+            epicenter,
+            slowed: std::collections::BTreeMap::new(),
+            rng,
+        }
+    }
+
+    /// Where the jam currently sits.
+    pub fn epicenter(&self) -> crate::ids::VertexId {
+        self.epicenter
+    }
+
+    /// Number of arcs currently slowed by the wave.
+    pub fn extent(&self) -> usize {
+        self.slowed.len()
+    }
+
+    /// Advances the wave one step (the epicenter moves to a random
+    /// out-neighbour) and returns the updates of this tick: slowdowns for
+    /// arcs entering the wave, reverts to `quiescent` for arcs leaving it.
+    /// `quiescent` holds the per-silo baseline weight vectors (e.g. from
+    /// [`gen_silo_weights`]).
+    pub fn tick(&mut self, g: &Graph, quiescent: &[Vec<Weight>]) -> Vec<TrafficUpdate> {
+        assert_eq!(quiescent.len(), self.num_silos);
+        for w in quiescent {
+            assert_eq!(w.len(), g.num_arcs());
+        }
+        // Random-walk step; teleport when stuck at a sink.
+        let neighbours: Vec<crate::ids::VertexId> =
+            g.out_arcs(self.epicenter).map(|a| a.head).collect();
+        self.epicenter = if neighbours.is_empty() {
+            crate::ids::VertexId(self.rng.gen_range(0..g.num_vertices() as u32))
+        } else {
+            neighbours[self.rng.gen_range(0..neighbours.len())]
+        };
+
+        // Arcs within `radius` hops of the new epicenter (BFS over the
+        // forward graph; every out-arc of a reached vertex is in the wave).
+        let mut in_wave = std::collections::BTreeSet::new();
+        let mut frontier = vec![self.epicenter];
+        let mut seen = std::collections::BTreeSet::from([self.epicenter.0]);
+        for _ in 0..=self.radius {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for a in g.out_arcs(v) {
+                    in_wave.insert(a.id.0);
+                    if seen.insert(a.head.0) {
+                        next.push(a.head);
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        let mut updates = Vec::new();
+        // Leaving arcs revert to the quiescent baseline.
+        let leaving: Vec<u32> = self
+            .slowed
+            .keys()
+            .filter(|id| !in_wave.contains(id))
+            .copied()
+            .collect();
+        for id in leaving {
+            self.slowed.remove(&id);
+            for (p, w) in quiescent.iter().enumerate() {
+                updates.push(TrafficUpdate {
+                    arc: crate::ids::ArcId(id),
+                    silo: p,
+                    weight: w[id as usize],
+                });
+            }
+        }
+        // Entering arcs slow down; each silo observes its own θ, with a
+        // floor above zero so an entering arc always really changes.
+        for id in in_wave {
+            if self.slowed.contains_key(&id) {
+                continue;
+            }
+            let weights: Vec<Weight> = quiescent
+                .iter()
+                .map(|w| {
+                    let theta = if self.theta_max > 0.0 {
+                        self.rng.gen_range(self.theta_max * 0.2..=self.theta_max)
+                    } else {
+                        0.0
+                    };
+                    // +1 guarantees a visible delta even for tiny weights.
+                    scale_weight(w[id as usize], 1.0 + theta) + 1
+                })
+                .collect();
+            for (p, &weight) in weights.iter().enumerate() {
+                updates.push(TrafficUpdate {
+                    arc: crate::ids::ArcId(id),
+                    silo: p,
+                    weight,
+                });
+            }
+            self.slowed.insert(id, weights);
+        }
+        updates
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +434,49 @@ mod tests {
         let aggregated = err(&model.aggregate(1.0, 4));
         assert!(full < quarter, "full={full} quarter={quarter}");
         assert!(aggregated < full, "aggregated={aggregated} full={full}");
+    }
+
+    #[test]
+    fn congestion_wave_is_deterministic_and_reverts() {
+        let g = city();
+        let quiescent = gen_silo_weights(&g, CongestionLevel::Moderate, 3, 11);
+        let run = || -> Vec<Vec<TrafficUpdate>> {
+            let mut wave = CongestionWave::new(&g, 3, CongestionLevel::Heavy, 2, 11);
+            (0..20).map(|_| wave.tick(&g, &quiescent)).collect()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "the stream must be reproducible from its seed");
+        assert!(
+            a.iter().any(|t| !t.is_empty()),
+            "the wave must emit updates"
+        );
+
+        // Replaying the stream onto shadow weights: after any tick, the
+        // arcs differing from quiescent are exactly the wave's current
+        // extent — everything the wave has left is back at baseline.
+        let mut wave = CongestionWave::new(&g, 3, CongestionLevel::Heavy, 2, 11);
+        let mut shadow = quiescent.clone();
+        let mut ever_slowed = std::collections::BTreeSet::new();
+        for _ in 0..20 {
+            for u in wave.tick(&g, &quiescent) {
+                shadow[u.silo][u.arc.index()] = u.weight;
+                ever_slowed.insert(u.arc.0);
+            }
+        }
+        assert!(!ever_slowed.is_empty());
+        let still_slowed = (0..g.num_arcs())
+            .filter(|&i| (0..3).any(|p| shadow[p][i] != quiescent[p][i]))
+            .count();
+        assert_eq!(
+            still_slowed,
+            wave.extent(),
+            "everything off-wave must have reverted to quiescent"
+        );
+        assert!(
+            ever_slowed.len() > wave.extent(),
+            "a 20-tick walk must have slowed and released more arcs than it holds"
+        );
     }
 
     #[test]

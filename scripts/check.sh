@@ -93,6 +93,9 @@ cargo run -q --release -p fedroad-bench --bin trace_query
 echo "==> throughput sweep (quick)"
 cargo run -q --release -p fedroad-bench --bin throughput -- --quick >/dev/null
 
+echo "==> live-traffic update scenario (quick)"
+cargo run -q --release -p fedroad-bench --bin live_traffic -- --quick >/dev/null
+
 echo "==> obs-diff regression gate vs committed baselines"
 # Counter-style metrics are deterministic and hard-fail past the threshold;
 # wall-clock and modeled-throughput rows are machine-dependent, so obs-diff
@@ -101,6 +104,8 @@ cargo run -q --release -p fedroad-bench --bin obs_diff -- \
   BENCH_run.json results/BENCH_run.json
 cargo run -q --release -p fedroad-bench --bin obs_diff -- \
   BENCH_throughput.json results/BENCH_throughput.json
+cargo run -q --release -p fedroad-bench --bin obs_diff -- \
+  BENCH_update.json results/BENCH_update.json
 
 # Concurrency checks for the threaded protocol runner, the cross-query round
 # scheduler, and the batch executor come in two layers: statically, the

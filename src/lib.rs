@@ -45,13 +45,15 @@ pub use fedroad_queue as queue;
 
 pub use fedroad_core::{
     fed_spsp, fed_sssp, verify_spsp_security, BaseView, BatchExecutor, BatchOutcome, BatchReport,
-    EngineConfig, FedChIndex, FedChView, Federation, FederationConfig, IndexSnapshot,
-    JointComparator, JointOracle, LowerBoundKind, Method, PlainComparator, QueryEngine,
-    QueryResult, QueryStats, SacComparator, SearchView, SecurityReport, SiloWeights,
+    CustomizeStats, EngineConfig, FedChIndex, FedChView, Federation, FederationConfig,
+    IndexSnapshot, JointComparator, JointOracle, LiveExecutor, LiveQueryResult, LowerBoundKind,
+    Method, PlainComparator, QueryEngine, QueryResult, QueryStats, SacComparator, SearchView,
+    SecurityReport, SiloWeights, SnapshotCell, WeightChange,
 };
 pub use fedroad_graph::gen::{grid_city, GridCityParams, RoadNetworkPreset};
 pub use fedroad_graph::traffic::{
-    gen_silo_weights, joint_weights, CongestionLevel, ObservationModel,
+    gen_silo_weights, joint_weights, CongestionLevel, CongestionWave, ObservationModel,
+    TrafficUpdate,
 };
 pub use fedroad_graph::{Coord, Direction, Graph, GraphBuilder, Path, VertexId, Weight};
 pub use fedroad_mpc::{

@@ -99,3 +99,32 @@ fn throughput_coalescing_wins_and_writes_schema_checked_records() {
         report.sequential.net_rounds / fedroad::FEDSAC_ROUNDS
     );
 }
+
+/// The live-update acceptance check: customize on congestion waves must
+/// beat a from-scratch rebuild by ≥ 10×, query latency under live epoch
+/// swaps must stay within 2× of quiescent p50, and the written
+/// `results/BENCH_update.json` must pass its schema.
+#[test]
+fn live_traffic_meets_the_update_and_latency_bars() {
+    let report = fedroad_bench::liveupdate::run(true);
+    let path = report.save().expect("save re-validates the written bytes");
+    let text = std::fs::read_to_string(&path).expect("report file exists");
+    let doc = fedroad::core::jsonio::Value::parse(&text).expect("report re-parses");
+    fedroad_bench::liveupdate::validate(&doc).expect("report matches its schema");
+
+    assert!(report.epochs > 0, "the wave must drive real epochs");
+    assert!(
+        report.updates_applied > 0 && report.updates_per_sec > 0.0,
+        "the stream must apply real weight changes"
+    );
+    assert!(
+        report.build_over_customize >= 10.0,
+        "customize must beat a full rebuild ≥ 10×, measured {:.2}×",
+        report.build_over_customize
+    );
+    assert!(
+        report.degradation <= 2.0,
+        "live query p50 must stay within 2× of quiescent, measured {:.2}×",
+        report.degradation
+    );
+}

@@ -141,6 +141,110 @@ fn decreasing_weights_are_handled_too() {
 }
 
 #[test]
+fn toggling_one_edge_between_extremes_stays_exact() {
+    // The adversarial case for incremental customization: the same arc
+    // flips between free flow and jammed over and over, repeatedly
+    // promoting and demoting the shortcuts through it. Every toggle must
+    // leave the index exact, and every effective toggle must bump the
+    // epoch exactly once.
+    let g = grid_city(&GridCityParams::with_target_vertices(150), 47);
+    let w = gen_silo_weights(&g, CongestionLevel::Moderate, 3, 47);
+    let mut fed = Federation::new(
+        g,
+        w,
+        FederationConfig {
+            backend: SacBackend::Modeled,
+            seed: 47,
+        },
+    );
+    let mut engine = QueryEngine::build(&mut fed, Method::FedRoad.config());
+    let arc = ArcId(7);
+    let low = fed.graph().static_weights()[arc.index()];
+    let high = low * 50;
+    let n = fed.graph().num_vertices() as u32;
+
+    for round in 0..12u64 {
+        let to = if round % 2 == 0 { high } else { low };
+        let mut w0 = fed.silo(0).as_slice().to_vec();
+        w0[arc.index()] = to;
+        fed.update_silo_weights(0, w0);
+        let epoch_before = engine.fedch().expect("has index").epoch();
+        let stats = engine.update_index(&mut fed, &[arc]).expect("has index");
+        assert!(
+            stats.applied > 0,
+            "round {round}: the toggle is a real change"
+        );
+        assert_eq!(
+            engine.fedch().expect("has index").epoch(),
+            epoch_before + 1,
+            "round {round}: each effective toggle bumps the epoch once"
+        );
+
+        let oracle = JointOracle::new(&fed);
+        for (s, t) in [(0, n - 1), (n / 3, 2 * n / 3), (5, n - 9)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let truth = oracle.spsp_scaled(&fed, s, t).unwrap().0;
+            let result = engine.spsp(&mut fed, s, t);
+            assert_eq!(
+                oracle.path_cost_scaled(&fed, &result.path.unwrap()),
+                Some(truth),
+                "round {round}: stale index on {s}->{t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_delta_update_does_not_dirty_the_index_or_bump_the_epoch() {
+    // A no-op refresh (re-announcing weights the index already holds)
+    // must be absorbed for free: no weight applied, no shortcut touched,
+    // and — critically for snapshot publishers keyed on the epoch — no
+    // epoch bump.
+    let g = grid_city(&GridCityParams::with_target_vertices(120), 53);
+    let w = gen_silo_weights(&g, CongestionLevel::Moderate, 2, 53);
+    let mut fed = Federation::new(
+        g,
+        w,
+        FederationConfig {
+            backend: SacBackend::Modeled,
+            seed: 53,
+        },
+    );
+    let mut engine = QueryEngine::build(&mut fed, Method::FedRoad.config());
+    let epoch_before = engine.fedch().expect("has index").epoch();
+
+    // Re-announce every arc without changing anything.
+    let all: Vec<ArcId> = (0..fed.graph().num_arcs())
+        .map(|i| ArcId(i as u32))
+        .collect();
+    let stats = engine.update_index(&mut fed, &all).expect("has index");
+    assert_eq!(stats.applied, 0, "zero-delta changes must be filtered");
+    assert_eq!(
+        stats.touched, 0,
+        "a no-op batch must not dirty any shortcut"
+    );
+    assert_eq!(stats.changed, 0);
+    assert_eq!(
+        engine.fedch().expect("has index").epoch(),
+        epoch_before,
+        "a no-op batch must not bump the epoch"
+    );
+
+    // The point-update path agrees: same-value updates report no change.
+    let same: Vec<fedroad::WeightChange> = (0..8)
+        .map(|i| fedroad::WeightChange {
+            arc: ArcId(i),
+            silo: 1,
+            weight: fed.silo(1).weight(ArcId(i)),
+        })
+        .collect();
+    assert!(
+        fed.apply_weight_updates(&same).is_empty(),
+        "unchanged weights must not report changed arcs"
+    );
+}
+
+#[test]
 fn stale_index_demonstrably_misroutes() {
     // The motivating counterpart of the update machinery: refresh weights
     // *without* updating the index and some queries come back suboptimal.

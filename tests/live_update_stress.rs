@@ -1,0 +1,267 @@
+//! Concurrent stress for the epoch-swap protocol: a worker pool keeps
+//! answering queries through a [`SnapshotCell`] while an updater thread
+//! streams congestion-wave batches through `customize` and publishes a
+//! fresh snapshot per epoch. The correctness contract under load: every
+//! result must be exact **for the epoch it reports** — an answer that is
+//! optimal under no recorded epoch means a torn index. Every scenario
+//! runs under a hard watchdog timeout (the `scheduler_watchdog.rs`
+//! pattern), so a publish/load deadlock fails in seconds, not forever.
+
+use fedroad::mpc::{BatchScheduler, SacEngine};
+use fedroad::{
+    gen_silo_weights, grid_city, CongestionLevel, CongestionWave, Federation, FederationConfig,
+    GridCityParams, JointOracle, LiveExecutor, LiveQueryResult, Method, QueryEngine, SacBackend,
+    SnapshotCell, VertexId, WeightChange,
+};
+use fedroad_graph::{Graph, Weight};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const SILOS: usize = 3;
+const WORKERS: usize = 4;
+const SEED: u64 = 0x57AE55;
+
+/// Generous bound: the scenarios finish in seconds when the snapshot
+/// cell behaves; only a publish/load deadlock gets anywhere near it.
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+/// Runs `scenario` on its own thread and fails fast if it neither
+/// finishes nor panics within [`WATCHDOG`].
+fn with_watchdog<F>(label: &str, scenario: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        scenario();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(()) => {}
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{label}: deadlock watchdog fired after {WATCHDOG:?}")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("{label}: scenario thread panicked (see output above)")
+        }
+    }
+}
+
+fn make_fed(g: &Graph, seed: u64) -> Federation {
+    let w = gen_silo_weights(g, CongestionLevel::Moderate, SILOS, seed);
+    Federation::new(
+        g.clone(),
+        w,
+        FederationConfig {
+            backend: SacBackend::Modeled,
+            seed,
+        },
+    )
+}
+
+fn silo_weights(fed: &Federation) -> Vec<Vec<Weight>> {
+    (0..SILOS)
+        .map(|p| fed.silo(p).as_slice().to_vec())
+        .collect()
+}
+
+fn make_executor(engine: &QueryEngine, fed: &Federation, seed: u64) -> LiveExecutor {
+    let cell = Arc::new(SnapshotCell::new(Arc::new(engine.snapshot(fed))));
+    let scheduler = Arc::new(BatchScheduler::lockstep(SacEngine::new(
+        SILOS,
+        SacBackend::Modeled,
+        seed ^ 0x11FE,
+    )));
+    LiveExecutor::new(cell, scheduler, WORKERS)
+}
+
+fn query_pairs(g: &Graph) -> Vec<(VertexId, VertexId)> {
+    let n = g.num_vertices() as u32;
+    (0..12u32)
+        .map(|q| (VertexId((q * 37) % n), VertexId((q * 71 + n / 2 + 1) % n)))
+        .filter(|(s, t)| s != t)
+        .collect()
+}
+
+/// Checks one epoch-tagged result against the ideal world **of its own
+/// epoch**: the reported path must cost exactly the joint shortest
+/// distance under the weights recorded for that epoch.
+fn assert_exact_for_its_epoch(
+    g: &Graph,
+    epoch_weights: &BTreeMap<u64, Vec<Vec<Weight>>>,
+    worlds: &mut BTreeMap<u64, (Federation, JointOracle)>,
+    (s, t): (VertexId, VertexId),
+    r: &LiveQueryResult,
+) {
+    let weights = epoch_weights.get(&r.epoch).unwrap_or_else(|| {
+        panic!(
+            "query {s:?}->{t:?} reports epoch {} which was never published — torn index",
+            r.epoch
+        )
+    });
+    let (fed, oracle) = worlds.entry(r.epoch).or_insert_with(|| {
+        let fed = Federation::new(
+            g.clone(),
+            weights.clone(),
+            FederationConfig {
+                backend: SacBackend::Modeled,
+                seed: SEED,
+            },
+        );
+        let oracle = JointOracle::new(&fed);
+        (fed, oracle)
+    });
+    let truth = oracle.spsp_scaled(fed, s, t).expect("connected").0;
+    let path = r.result.path.as_ref().expect("grid cities are connected");
+    assert_eq!(
+        oracle.path_cost_scaled(fed, path),
+        Some(truth),
+        "query {s:?}->{t:?} is not exact under its reported epoch {}",
+        r.epoch
+    );
+}
+
+#[test]
+fn live_queries_always_match_the_epoch_they_were_answered_under() {
+    with_watchdog("live update stress", || {
+        let g = grid_city(&GridCityParams::with_target_vertices(200), 31);
+        let mut fed = make_fed(&g, 31);
+        let mut engine = QueryEngine::build(&mut fed, Method::FedRoad.config());
+        let executor = make_executor(&engine, &fed, SEED);
+        let pairs = query_pairs(&g);
+
+        // Epoch 0 is the build-time metric; the updater records every
+        // weight state it publishes so each answer can be audited against
+        // the world it claims to have been answered in.
+        let mut epoch_weights: BTreeMap<u64, Vec<Vec<Weight>>> = BTreeMap::new();
+        epoch_weights.insert(0, silo_weights(&fed));
+        let baseline = silo_weights(&fed);
+
+        // Phase 1 — quiescent: nothing publishing yet, all at epoch 0.
+        let mut batches: Vec<Vec<LiveQueryResult>> = vec![executor.run(&pairs)];
+
+        // Phase 2 — N workers query while the updater thread swaps epochs
+        // underneath them as fast as it can.
+        let stop = AtomicBool::new(false);
+        let cell = Arc::clone(executor.cell());
+        std::thread::scope(|scope| {
+            let fed = &mut fed;
+            let engine = &mut engine;
+            let epoch_weights = &mut epoch_weights;
+            let stop = &stop;
+            let graph = &g;
+            let baseline = &baseline;
+            let updater = scope.spawn(move || {
+                let mut wave = CongestionWave::new(graph, SILOS, CongestionLevel::Heavy, 2, SEED);
+                let mut ticks = 0u32;
+                // Keep swapping until the readers are done (minimum a few
+                // epochs even if they finish instantly; hard cap so a
+                // stuck reader can't spin this thread forever).
+                while ticks < 6 || (!stop.load(Ordering::Relaxed) && ticks < 4000) {
+                    let changes: Vec<WeightChange> = wave
+                        .tick(graph, baseline)
+                        .into_iter()
+                        .map(|u| WeightChange {
+                            arc: u.arc,
+                            silo: u.silo,
+                            weight: u.weight,
+                        })
+                        .collect();
+                    let changed = fed.apply_weight_updates(&changes);
+                    if !changed.is_empty() {
+                        engine.update_index(fed, &changed).expect("has index");
+                        let epoch = engine.fedch().expect("has index").epoch();
+                        epoch_weights.insert(epoch, silo_weights(fed));
+                    }
+                    cell.publish(Arc::new(engine.snapshot(fed)));
+                    ticks += 1;
+                }
+            });
+            for _ in 0..4 {
+                batches.push(executor.run(&pairs));
+            }
+            stop.store(true, Ordering::Relaxed);
+            updater.join().expect("updater thread must not panic");
+        });
+
+        // Phase 3 — after the updater drained: all at the final epoch.
+        batches.push(executor.run(&pairs));
+
+        let final_epoch = executor.cell().epoch();
+        assert!(final_epoch > 0, "the wave must have produced real epochs");
+        let mut worlds: BTreeMap<u64, (Federation, JointOracle)> = BTreeMap::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for batch in &batches {
+            assert_eq!(batch.len(), pairs.len());
+            for (&pair, r) in pairs.iter().zip(batch) {
+                assert!(
+                    r.epoch <= final_epoch,
+                    "result reports epoch {} beyond the last published {final_epoch}",
+                    r.epoch
+                );
+                seen.insert(r.epoch);
+                assert_exact_for_its_epoch(&g, &epoch_weights, &mut worlds, pair, r);
+            }
+        }
+        // Phase 1 pins epoch 0 and phase 3 pins the final epoch, so the
+        // audit provably spans swaps — not one frozen snapshot.
+        assert!(
+            seen.len() >= 2,
+            "the stress must observe at least two distinct epochs, saw {seen:?}"
+        );
+        assert_eq!(batches.last().map(|b| b[0].epoch), Some(final_epoch));
+    });
+}
+
+#[test]
+fn republishing_unchanged_snapshots_is_invisible_to_readers() {
+    with_watchdog("no-op publish storm", || {
+        let g = grid_city(&GridCityParams::with_target_vertices(150), 37);
+        let mut fed = make_fed(&g, 37);
+        let engine = QueryEngine::build(&mut fed, Method::FedRoad.config());
+        let executor = make_executor(&engine, &fed, SEED ^ 1);
+        let pairs = query_pairs(&g);
+
+        let quiescent = executor.run(&pairs);
+
+        // Hammer the cell with hundreds of publishes of the *same* world
+        // (fresh snapshot objects, same epoch) while the pool queries.
+        let stop = AtomicBool::new(false);
+        let cell = Arc::clone(executor.cell());
+        let mut stormed: Vec<Vec<LiveQueryResult>> = Vec::new();
+        std::thread::scope(|scope| {
+            let stop = &stop;
+            let engine = &engine;
+            let fed = &fed;
+            let publisher = scope.spawn(move || {
+                let mut publishes = 0u32;
+                while publishes < 200 || !stop.load(Ordering::Relaxed) {
+                    cell.publish(Arc::new(engine.snapshot(fed)));
+                    publishes += 1;
+                    if publishes >= 20_000 {
+                        break;
+                    }
+                }
+            });
+            for _ in 0..3 {
+                stormed.push(executor.run(&pairs));
+            }
+            stop.store(true, Ordering::Relaxed);
+            publisher.join().expect("publisher thread must not panic");
+        });
+
+        // Same epoch, same paths, same costs — republishing an unchanged
+        // index is completely invisible to readers.
+        for batch in &stormed {
+            for (q, r) in batch.iter().enumerate() {
+                assert_eq!(r.epoch, 0, "no weight changed, the epoch must stay 0");
+                assert_eq!(
+                    r.result.path, quiescent[q].result.path,
+                    "a no-op publish storm must not perturb any answer"
+                );
+            }
+        }
+    });
+}
