@@ -45,6 +45,13 @@ fn main() {
         Ok(path) => println!("[live_traffic] records written to {}", path.display()),
         Err(e) => eprintln!("[live_traffic] failed validation: {e}"),
     }
+    // And the comparison-kernel microbenchmark.
+    let cb = fedroad_bench::comparebench::run(quick);
+    report.add_experiment("compare_bench", cb.rows.len());
+    match cb.save() {
+        Ok(path) => println!("[compare_bench] records written to {}", path.display()),
+        Err(e) => eprintln!("[compare_bench] failed validation: {e}"),
+    }
     report.set_snapshot(&fedroad_obs::snapshot());
     match report.save() {
         Ok(path) => println!("run report written to {}", path.display()),

@@ -15,6 +15,7 @@
 //! cargo run -p fedroad-bench --release --bin fig11    # lower-bound accuracy
 //! cargo run -p fedroad-bench --release --bin fig12    # queue comparison counts
 //! cargo run -p fedroad-bench --release --bin throughput # batch executor, 1/2/4/8 workers
+//! cargo run -p fedroad-bench --release --bin compare_bench # comparison-kernel microbench
 //! cargo run -p fedroad-bench --release --bin live_traffic # streaming updates + epoch swaps
 //! cargo run -p fedroad-bench --release --bin all      # everything, in order
 //! ```
@@ -27,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod comparebench;
 pub mod experiments;
 pub mod liveupdate;
 pub mod obsdiff;

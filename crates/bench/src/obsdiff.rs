@@ -1,7 +1,7 @@
 //! The bench-regression gate: structural diff of two schema-checked
 //! telemetry artifacts (`fedroad.bench-run.v1`,
 //! `fedroad.bench-throughput.v1`, `fedroad.bench-update.v1`,
-//! `fedroad.metrics-snapshot.v1`).
+//! `fedroad.bench-compare.v1`, `fedroad.metrics-snapshot.v1`).
 //!
 //! [`diff`] compares a *baseline* document against a *current* one and
 //! yields [`Finding`]s. Severity encodes how trustworthy each metric is:
@@ -333,6 +333,74 @@ fn diff_update(cx: &mut DiffCx<'_>, base: &Value, cur: &Value) -> Result<(), Jso
     Ok(())
 }
 
+fn diff_compare(cx: &mut DiffCx<'_>, base: &Value, cur: &Value) -> Result<(), JsonError> {
+    crate::comparebench::validate(base)?;
+    crate::comparebench::validate(cur)?;
+    let u =
+        |row: &Value, key: &str| -> Result<f64, JsonError> { Ok(row.get(key)?.as_u64()? as f64) };
+    let f = |row: &Value, key: &str| -> Result<f64, JsonError> {
+        match row.get(key)? {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(JsonError::Schema(format!(
+                "field `{key}` must be a number, found {other:?}"
+            ))),
+        }
+    };
+    for b_row in base.get("rows")?.as_arr()? {
+        let batch = b_row.get("batch")?.as_u64()?;
+        let label = format!("batch-{batch}");
+        let Some(c_row) = cur
+            .get("rows")?
+            .as_arr()?
+            .iter()
+            .find(|r| r.get("batch").and_then(|v| v.as_u64()).ok() == Some(batch))
+        else {
+            cx.missing(&label, "baseline");
+            continue;
+        };
+        // The kernel consumes exactly the same rounds/edaBits/triples per
+        // comparison whatever the host: deterministic accounting, hard.
+        for key in ["comparisons", "net_rounds", "edabits", "triple_words"] {
+            cx.compare(
+                &format!("{label}.{key}"),
+                u(b_row, key)?,
+                u(c_row, key)?,
+                Worse::Higher,
+                true,
+            );
+        }
+        // Throughput and speedup ratios fold in host CPU/cores: advisory.
+        for key in [
+            "scalar_cps",
+            "vectorized_cps",
+            "pooled_cps",
+            "vector_speedup",
+            "pooled_speedup",
+        ] {
+            cx.compare(
+                &format!("{label}.{key}"),
+                f(b_row, key)?,
+                f(c_row, key)?,
+                Worse::Lower,
+                false,
+            );
+        }
+    }
+    for c_row in cur.get("rows")?.as_arr()? {
+        let batch = c_row.get("batch")?.as_u64()?;
+        if !base
+            .get("rows")?
+            .as_arr()?
+            .iter()
+            .any(|r| r.get("batch").and_then(|v| v.as_u64()).ok() == Some(batch))
+        {
+            cx.missing(&format!("batch-{batch}"), "current");
+        }
+    }
+    Ok(())
+}
+
 fn diff_metrics_snapshot(cx: &mut DiffCx<'_>, base: &Value, cur: &Value) -> Result<(), JsonError> {
     validate_metrics_snapshot(base)?;
     validate_metrics_snapshot(cur)?;
@@ -407,6 +475,7 @@ pub fn diff(base: &Value, cur: &Value, opts: &DiffOptions) -> Result<Vec<Finding
         crate::runreport::RUN_SCHEMA => diff_bench_run(&mut cx, base, cur)?,
         crate::throughput::THROUGHPUT_SCHEMA => diff_throughput(&mut cx, base, cur)?,
         crate::liveupdate::UPDATE_SCHEMA => diff_update(&mut cx, base, cur)?,
+        crate::comparebench::COMPARE_SCHEMA => diff_compare(&mut cx, base, cur)?,
         METRICS_SCHEMA => diff_metrics_snapshot(&mut cx, base, cur)?,
         other => {
             return Err(JsonError::Schema(format!(
@@ -566,6 +635,59 @@ mod tests {
         let drifted = parse(
             &update_report_json(4000, 7000.0)
                 .replace("fedroad.bench-update.v1", "fedroad.bench-update.v2"),
+        );
+        assert!(matches!(
+            diff(&base, &drifted, &DiffOptions::default()),
+            Err(JsonError::Schema(_))
+        ));
+    }
+
+    fn compare_report_json(edabits: u64, vectorized_cps: f64) -> String {
+        format!(
+            "{{\"schema\":\"fedroad.bench-compare.v1\",\"seed\":7,\"quick\":true,\
+             \"parties\":3,\"rows\":[{{\"batch\":64,\"reps\":8,\"comparisons\":512,\
+             \"net_rounds\":64,\"edabits\":{edabits},\"triple_words\":6144,\
+             \"scalar_cps\":1000.0,\"vectorized_cps\":{vectorized_cps},\
+             \"pooled_cps\":5000.0,\"vector_speedup\":4.0,\"pooled_speedup\":5.0}}]}}"
+        )
+    }
+
+    #[test]
+    fn compare_counters_fail_hard_but_rates_only_warn() {
+        let base = parse(&compare_report_json(512, 4000.0));
+        // Deterministic preprocessing consumption grew past the threshold:
+        // the kernel is doing more cryptographic work per comparison. Fail.
+        let findings = diff(
+            &base,
+            &parse(&compare_report_json(1024, 4000.0)),
+            &DiffOptions::default(),
+        )
+        .unwrap();
+        assert!(has_failure(&findings), "{findings:?}");
+        assert!(findings.iter().any(|f| f.metric == "batch-64.edabits"));
+        // Host-dependent throughput halved: Warn only.
+        let findings = diff(
+            &base,
+            &parse(&compare_report_json(512, 2000.0)),
+            &DiffOptions::default(),
+        )
+        .unwrap();
+        assert!(!findings.is_empty());
+        assert!(!has_failure(&findings), "{findings:?}");
+        assert!(findings
+            .iter()
+            .any(|f| f.metric == "batch-64.vectorized_cps"));
+    }
+
+    #[test]
+    fn compare_diff_rejects_schema_drift() {
+        // Same contract as the other artifact families: a baseline whose
+        // schema tag no longer matches the current report is a gate error,
+        // not a finding the run could shrug off.
+        let base = parse(&compare_report_json(512, 4000.0));
+        let drifted = parse(
+            &compare_report_json(512, 4000.0)
+                .replace("fedroad.bench-compare.v1", "fedroad.bench-compare.v2"),
         );
         assert!(matches!(
             diff(&base, &drifted, &DiffOptions::default()),

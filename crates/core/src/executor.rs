@@ -455,21 +455,26 @@ impl BatchExecutor {
         };
         if obs {
             fedroad_obs::counter_add("executor.queries", queries.len() as u64);
-            fedroad_obs::span_end(
-                "executor.batch",
-                &[
-                    (
-                        "queries",
-                        fedroad_obs::ObsValue::Count(queries.len() as u64),
-                    ),
-                    ("workers", fedroad_obs::ObsValue::Count(self.workers as u64)),
-                    ("rounds", fedroad_obs::ObsValue::Count(scheduler.rounds)),
-                    (
-                        "coalesced",
-                        fedroad_obs::ObsValue::Count(scheduler.coalesced_requests),
-                    ),
-                ],
-            );
+            let mut args = vec![
+                (
+                    "queries",
+                    fedroad_obs::ObsValue::Count(queries.len() as u64),
+                ),
+                ("workers", fedroad_obs::ObsValue::Count(self.workers as u64)),
+                ("rounds", fedroad_obs::ObsValue::Count(scheduler.rounds)),
+                (
+                    "coalesced",
+                    fedroad_obs::ObsValue::Count(scheduler.coalesced_requests),
+                ),
+            ];
+            // When the engine preprocesses on a background dealer pool,
+            // attribute refill/stall behavior to the batch. Depths and
+            // counters are pure shapes, never share material.
+            if let Some(pool) = self.scheduler.pool_stats() {
+                args.push(("pool_refills", fedroad_obs::ObsValue::Count(pool.refills)));
+                args.push(("pool_stalls", fedroad_obs::ObsValue::Count(pool.stalls)));
+            }
+            fedroad_obs::span_end("executor.batch", &args);
         }
         BatchOutcome { results, report }
     }

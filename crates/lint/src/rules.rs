@@ -64,8 +64,9 @@ pub struct RawFinding {
 pub const SECRET_CRATES: [&str; 2] = ["mpc", "core"];
 
 /// Protocol hot paths (R3/R4 scope): code a malformed message reaches.
-pub const HOT_PATHS: [&str; 8] = [
+pub const HOT_PATHS: [&str; 9] = [
     "crates/mpc/src/binary.rs",
+    "crates/mpc/src/block.rs",
     "crates/mpc/src/compare.rs",
     "crates/mpc/src/fedsac.rs",
     "crates/mpc/src/net.rs",
@@ -77,33 +78,43 @@ pub const HOT_PATHS: [&str; 8] = [
 
 /// Types that hold raw share words; Debug/Display on them needs a
 /// `// lint: debug-ok(<reason>)` marker (normally a redacted impl).
-pub const SHARE_TYPES: [&str; 6] = [
+pub const SHARE_TYPES: [&str; 9] = [
     "SharedWord",
     "EdaBit",
     "TripleWord",
     "MacKey",
     "AuthShare",
     "PartyMaterial",
+    "ShareBlock",
+    "EdaBitBlock",
+    "TripleBlock",
 ];
 
 /// APIs whose return values are unopened share material. Identifiers
 /// `let`-bound from these are *tainted*: branching on them (R4) or
 /// debug-formatting them (R1) is a leak. `less_than*` is deliberately
 /// absent — its output is the protocol's one intentionally revealed bit.
-pub const SHARE_APIS: [&str; 14] = [
+pub const SHARE_APIS: [&str; 21] = [
     "additive_shares",
     "xor_shares",
     "edabit",
     "triple_word",
+    "edabit_block",
+    "triple_block",
     "and_many",
+    "and_many_scalar",
+    "and_block",
     "add_public",
     "add_public_many",
+    "add_public_many_scalar",
+    "add_public_block",
     "xor_words",
     "xor_public",
     "and_public",
     "shl_words",
     "exchange",
     "broadcast_words",
+    "broadcast_flat",
     "scatter_words",
 ];
 

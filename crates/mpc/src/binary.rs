@@ -6,12 +6,22 @@
 //! public constant) are local; the only communicating gate is the
 //! Beaver-triple AND, and the only multi-gate construction is the
 //! Kogge–Stone carry-lookahead adder used by the comparison.
+//!
+//! The batched kernels run on flat [`ShareBlock`] slabs ([`and_block`],
+//! [`add_public_block`]): party-major contiguous buffers whose inner loops
+//! are allocation-free slice walks the compiler can autovectorize, with
+//! broadcast payloads assembled directly from the rows. The original
+//! per-gate `Vec<SharedWord>` implementations are **retained** as
+//! `*_scalar` reference kernels: a differential proptest suite pins the
+//! vectorized path bit-identical (results *and* accounting) to them, and
+//! the `compare_bench` harness measures the speedup between the two.
 
 // Protocol hot path: a malformed message must become a typed error,
 // never a panic (see fedroad-lint rule `no-panic-hot-path`).
 #![deny(clippy::unwrap_used)]
 
-use crate::dealer::Dealer;
+use crate::block::ShareBlock;
+use crate::dealer::DealSource;
 use crate::error::ProtocolError;
 use crate::net::{Mesh, MsgKind};
 
@@ -42,27 +52,129 @@ pub fn shl_words(x: &SharedWord, shift: u32) -> SharedWord {
 }
 
 /// Opens a shared word to all parties: one broadcast round.
+///
+/// The share vector *is* already the one-lane party-major flat payload, so
+/// the flat broadcast path costs zero allocations (an earlier revision
+/// built a nested `Vec<Vec<u64>>` per call).
 pub fn open_word(mesh: &mut Mesh, kind: MsgKind, x: &SharedWord) -> u64 {
-    let words: Vec<Vec<u64>> = x.iter().map(|&s| vec![s]).collect();
-    let recv = mesh.broadcast_words(kind, &words);
+    mesh.broadcast_flat(kind, x, 1);
     // Every party folds all P contributions; they all get the same value,
     // so the lockstep runtime computes it once.
-    recv[0].iter().map(|w| w[0]).fold(0u64, |acc, s| acc ^ s)
+    x.iter().fold(0u64, |acc, &s| acc ^ s)
 }
 
-/// Evaluates `k` shared-AND word gates in **one** communication round,
-/// consuming `k` packed triple words.
+/// Reusable scratch for [`and_block`]: the flat broadcast payload and the
+/// folded openings, allocated once by the caller and reused across adder
+/// layers so the per-layer inner loops stay allocation-free.
+#[derive(Default)]
+pub struct AndScratch {
+    payload: Vec<u64>,
+    opened: Vec<u64>,
+}
+
+/// Evaluates `k` shared-AND word gates over flat lane blocks in **one**
+/// communication round, consuming `k` packed triple words.
 ///
-/// For each pair `(x, y)` with triple `(a, b, c)`: parties open
-/// `ε = x ⊕ a` and `δ = y ⊕ b`, then locally output
-/// `z = c ⊕ (ε ∧ b) ⊕ (δ ∧ a) ⊕ (ε ∧ δ)` (the last term absorbed by
-/// party 0). Since `ε`/`δ` are one-time-pad masked, nothing about `x`/`y`
-/// leaks.
+/// For each lane `i` with triple `(a, b, c)`: parties open `ε = x ⊕ a` and
+/// `δ = y ⊕ b`, then locally output `z = c ⊕ (ε ∧ b) ⊕ (δ ∧ a) ⊕ (ε ∧ δ)`
+/// (the last term absorbed by party 0). Since `ε`/`δ` are one-time-pad
+/// masked, nothing about `x`/`y` leaks. The broadcast payload (width `2k`,
+/// interleaved `[ε₀, δ₀, ε₁, δ₁, …]`) and the output rows are filled by
+/// straight slice loops — no per-gate allocation.
+pub fn and_block(
+    mesh: &mut Mesh,
+    dealer: &mut impl DealSource,
+    x: &ShareBlock,
+    y: &ShareBlock,
+    out: &mut ShareBlock,
+    scratch: &mut AndScratch,
+) {
+    let n = mesh.num_parties();
+    let k = x.lanes();
+    debug_assert_eq!(y.lanes(), k);
+    debug_assert_eq!(out.lanes(), k);
+    if k == 0 {
+        return;
+    }
+    let t = dealer.triple_block(k);
+
+    // Each party contributes [ε_0, δ_0, ε_1, δ_1, …] for all gates at once.
+    scratch.payload.clear();
+    scratch.payload.resize(n * 2 * k, 0);
+    for p in 0..n {
+        let (xr, yr) = (x.party(p), y.party(p));
+        let (ar, br) = (t.a.party(p), t.b.party(p));
+        let row = &mut scratch.payload[p * 2 * k..(p + 1) * 2 * k];
+        for i in 0..k {
+            row[2 * i] = xr[i] ^ ar[i];
+            row[2 * i + 1] = yr[i] ^ br[i];
+        }
+    }
+    mesh.broadcast_flat(MsgKind::TripleOpen, &scratch.payload, 2 * k);
+
+    // Fold the P contributions: opened[2i] = ε_i, opened[2i+1] = δ_i.
+    scratch.opened.clear();
+    scratch.opened.resize(2 * k, 0);
+    for p in 0..n {
+        let row = &scratch.payload[p * 2 * k..(p + 1) * 2 * k];
+        for (o, &w) in scratch.opened.iter_mut().zip(row) {
+            *o ^= w;
+        }
+    }
+
+    for p in 0..n {
+        let (ar, br, cr) = (t.a.party(p), t.b.party(p), t.c.party(p));
+        let or = out.party_mut(p);
+        for i in 0..k {
+            let (eps, del) = (scratch.opened[2 * i], scratch.opened[2 * i + 1]);
+            or[i] = cr[i] ^ (eps & br[i]) ^ (del & ar[i]);
+        }
+    }
+    // Party 0 absorbs the public ε ∧ δ term.
+    for (i, o) in out.party_mut(0).iter_mut().enumerate() {
+        *o ^= scratch.opened[2 * i] & scratch.opened[2 * i + 1];
+    }
+}
+
+/// Evaluates `k` shared-AND word gates in one round — the legacy
+/// `Vec<SharedWord>` interface over the flat [`and_block`] kernel. An empty
+/// batch is free: no round, no triples (all batched kernels agree on this;
+/// regression-tested).
 pub fn and_many(
     mesh: &mut Mesh,
-    dealer: &mut Dealer,
+    dealer: &mut impl DealSource,
     pairs: &[(SharedWord, SharedWord)],
 ) -> Vec<SharedWord> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    let n = mesh.num_parties();
+    let k = pairs.len();
+    let mut x = ShareBlock::zeroed(n, k);
+    let mut y = ShareBlock::zeroed(n, k);
+    for (i, (xw, yw)) in pairs.iter().enumerate() {
+        for p in 0..n {
+            x.set(p, i, xw[p]);
+            y.set(p, i, yw[p]);
+        }
+    }
+    let mut out = ShareBlock::zeroed(n, k);
+    and_block(mesh, dealer, &x, &y, &mut out, &mut AndScratch::default());
+    out.to_words()
+}
+
+/// Scalar reference implementation of [`and_many`]: the original per-gate
+/// `Vec<SharedWord>` kernel, retained verbatim so the differential suite
+/// can pin the vectorized path bit-identical to it and `compare_bench` can
+/// measure the speedup. Consumes the dealer stream in the same order.
+pub fn and_many_scalar(
+    mesh: &mut Mesh,
+    dealer: &mut impl DealSource,
+    pairs: &[(SharedWord, SharedWord)],
+) -> Vec<SharedWord> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
     let n = mesh.num_parties();
     let triples: Vec<_> = pairs.iter().map(|_| dealer.triple_word()).collect();
 
@@ -106,6 +218,9 @@ pub const ADDER_ROUNDS: u64 = 6;
 /// Number of triple words [`add_public`] consumes.
 pub const ADDER_TRIPLE_WORDS: u64 = 12;
 
+/// The Kogge–Stone shift schedule: 6 doubling layers cover 64 bits.
+const ADDER_SHIFTS: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
 /// Adds the public constant `addend` to the XOR-shared word `s`, returning
 /// the shared bits of `(addend + value(s)) mod 2⁶⁴`.
 ///
@@ -115,7 +230,7 @@ pub const ADDER_TRIPLE_WORDS: u64 = 12;
 /// therefore local.
 pub fn add_public(
     mesh: &mut Mesh,
-    dealer: &mut Dealer,
+    dealer: &mut impl DealSource,
     addend: u64,
     s: &SharedWord,
 ) -> Result<SharedWord, ProtocolError> {
@@ -124,15 +239,135 @@ pub fn add_public(
         .ok_or(ProtocolError::MissingOutput)
 }
 
-/// Evaluates `k` independent public-plus-shared additions with **shared
-/// rounds**: still 6 AND layers, each packing all `2k` gates into one
-/// exchange — the vectorization that lets higher layers batch independent
-/// comparisons at constant round cost.
+/// Evaluates `k` independent public-plus-shared additions over flat lane
+/// blocks with **shared rounds**: still 6 AND layers, each packing all `2k`
+/// gates into one exchange. `addends[i]` is the public operand of lane `i`
+/// of `s`; the sum bits land in `out`.
+///
+/// Gate order within a layer matches the scalar reference (lane `2i` is
+/// lane `i`'s G-combine, lane `2i+1` its P-combine), so both paths consume
+/// the dealer stream identically.
+pub fn add_public_block(
+    mesh: &mut Mesh,
+    dealer: &mut impl DealSource,
+    addends: &[u64],
+    s: &ShareBlock,
+    out: &mut ShareBlock,
+) {
+    let n = mesh.num_parties();
+    let k = addends.len();
+    debug_assert_eq!(s.lanes(), k);
+    debug_assert_eq!(out.lanes(), k);
+    if k == 0 {
+        return;
+    }
+
+    // g = addend ∧ s and p = addend ⊕ s are local thanks to the public
+    // operand (party 0 absorbs the XOR).
+    let mut g = ShareBlock::zeroed(n, k);
+    let mut prop = ShareBlock::zeroed(n, k);
+    for p in 0..n {
+        let sr = s.party(p);
+        let gr = g.party_mut(p);
+        for i in 0..k {
+            gr[i] = sr[i] & addends[i];
+        }
+        let pr = prop.party_mut(p);
+        if p == 0 {
+            for i in 0..k {
+                pr[i] = sr[i] ^ addends[i];
+            }
+        } else {
+            pr.copy_from_slice(sr);
+        }
+    }
+    let prop0 = prop.clone();
+
+    // Scratch for the 2k-lane AND layers, allocated once for all 6 layers.
+    let mut ax = ShareBlock::zeroed(n, 2 * k);
+    let mut ay = ShareBlock::zeroed(n, 2 * k);
+    let mut az = ShareBlock::zeroed(n, 2 * k);
+    let mut scratch = AndScratch::default();
+
+    for shift in ADDER_SHIFTS {
+        for p in 0..n {
+            let (gr, pr) = (g.party(p), prop.party(p));
+            let xr = ax.party_mut(p);
+            for i in 0..k {
+                xr[2 * i] = pr[i];
+                xr[2 * i + 1] = pr[i];
+            }
+            let yr = ay.party_mut(p);
+            for i in 0..k {
+                yr[2 * i] = gr[i] << shift;
+                yr[2 * i + 1] = pr[i] << shift;
+            }
+        }
+        and_block(mesh, dealer, &ax, &ay, &mut az, &mut scratch);
+        // In carry semantics G and P∧G' are never simultaneously 1, so XOR
+        // implements the OR of the classic formulation exactly.
+        for p in 0..n {
+            let zr = az.party(p);
+            let gr = g.party_mut(p);
+            for i in 0..k {
+                gr[i] ^= zr[2 * i];
+            }
+            let pr = prop.party_mut(p);
+            for i in 0..k {
+                pr[i] = zr[2 * i + 1];
+            }
+        }
+    }
+
+    // carry into bit i = G_{i-1}; sum = prop ⊕ carries.
+    for p in 0..n {
+        let (p0r, gr) = (prop0.party(p), g.party(p));
+        let or = out.party_mut(p);
+        for i in 0..k {
+            or[i] = p0r[i] ^ (gr[i] << 1);
+        }
+    }
+}
+
+/// Evaluates `k` independent public-plus-shared additions with shared
+/// rounds — the legacy `Vec<SharedWord>` interface over the flat
+/// [`add_public_block`] kernel. An empty batch is free: no rounds, no
+/// triples.
 pub fn add_public_many(
     mesh: &mut Mesh,
-    dealer: &mut Dealer,
+    dealer: &mut impl DealSource,
     inputs: &[(u64, SharedWord)],
 ) -> Vec<SharedWord> {
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let n = mesh.num_parties();
+    let k = inputs.len();
+    let mut addends = Vec::with_capacity(k);
+    let mut s = ShareBlock::zeroed(n, k);
+    for (i, (addend, w)) in inputs.iter().enumerate() {
+        addends.push(*addend);
+        for (p, &word) in w.iter().enumerate().take(n) {
+            s.set(p, i, word);
+        }
+    }
+    let mut out = ShareBlock::zeroed(n, k);
+    add_public_block(mesh, dealer, &addends, &s, &mut out);
+    out.to_words()
+}
+
+/// Scalar reference implementation of [`add_public_many`]: the original
+/// per-gate kernel (clones a `SharedWord` per gate per layer), retained for
+/// the differential suite and `compare_bench`. An empty batch is free,
+/// matching the vectorized path.
+pub fn add_public_many_scalar(
+    mesh: &mut Mesh,
+    dealer: &mut impl DealSource,
+    inputs: &[(u64, SharedWord)],
+) -> Vec<SharedWord> {
+    if inputs.is_empty() {
+        return Vec::new();
+    }
     // g = addend ∧ s and p = addend ⊕ s are local thanks to the public operand.
     let mut g: Vec<SharedWord> = inputs
         .iter()
@@ -144,13 +379,13 @@ pub fn add_public_many(
         .collect();
     let prop0 = prop.clone();
 
-    for shift in [1u32, 2, 4, 8, 16, 32] {
+    for shift in ADDER_SHIFTS {
         let mut pairs = Vec::with_capacity(2 * inputs.len());
         for i in 0..inputs.len() {
             pairs.push((prop[i].clone(), shl_words(&g[i], shift)));
             pairs.push((prop[i].clone(), shl_words(&prop[i], shift)));
         }
-        let res = and_many(mesh, dealer, &pairs);
+        let res = and_many_scalar(mesh, dealer, &pairs);
         // In carry semantics G and P∧G' are never simultaneously 1, so XOR
         // implements the OR of the classic formulation exactly.
         for i in 0..inputs.len() {
@@ -169,7 +404,7 @@ pub fn add_public_many(
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
-    use crate::dealer::{reconstruct_xor, xor_shares};
+    use crate::dealer::{reconstruct_xor, xor_shares, Dealer};
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha12Rng;
 
@@ -259,6 +494,7 @@ mod tests {
         let v: u64 = 0xABCD_EF01_2345_6789;
         let s = xor_shares(&mut rng, 4, v);
         assert_eq!(open_word(&mut mesh, MsgKind::MaskedOpen, &s), v);
+        assert_eq!(mesh.stats().rounds, 1);
     }
 
     #[test]
@@ -272,5 +508,44 @@ mod tests {
         let _ = shl_words(&x, 3);
         assert_eq!(mesh.stats().rounds, 0);
         assert_eq!(mesh.stats().bytes, 0);
+    }
+
+    #[test]
+    fn empty_batches_are_free_and_agree() {
+        // Satellite regression: the batched kernels used to disagree on
+        // empty input (and a zero-lane batch still paid rounds). All of
+        // them now return empty output at zero cost.
+        let (mut mesh, mut dealer, _) = setup(3);
+        assert!(and_many(&mut mesh, &mut dealer, &[]).is_empty());
+        assert!(and_many_scalar(&mut mesh, &mut dealer, &[]).is_empty());
+        assert!(add_public_many(&mut mesh, &mut dealer, &[]).is_empty());
+        assert!(add_public_many_scalar(&mut mesh, &mut dealer, &[]).is_empty());
+        assert_eq!(mesh.stats().rounds, 0);
+        assert_eq!(mesh.stats().bytes, 0);
+        assert_eq!(dealer.stats().triple_words, 0);
+    }
+
+    #[test]
+    fn vectorized_and_scalar_adders_are_bit_identical() {
+        // Spot check here; the exhaustive sweep lives in the
+        // prop_vectorized differential suite.
+        let mut rng = ChaCha12Rng::seed_from_u64(8);
+        for n in [2usize, 4] {
+            let inputs: Vec<(u64, SharedWord)> = (0..7)
+                .map(|_| {
+                    let v: u64 = rng.gen();
+                    (rng.gen(), xor_shares(&mut rng, n, v))
+                })
+                .collect();
+            let mut mesh_v = Mesh::new(n);
+            let mut dealer_v = Dealer::new(n, 1000 + n as u64);
+            let vect = add_public_many(&mut mesh_v, &mut dealer_v, &inputs);
+            let mut mesh_s = Mesh::new(n);
+            let mut dealer_s = Dealer::new(n, 1000 + n as u64);
+            let scal = add_public_many_scalar(&mut mesh_s, &mut dealer_s, &inputs);
+            assert_eq!(vect, scal);
+            assert_eq!(mesh_v.stats(), mesh_s.stats());
+            assert_eq!(dealer_v.stats(), dealer_s.stats());
+        }
     }
 }

@@ -13,13 +13,21 @@
 //!
 //! Cost per comparison: 8 online rounds (1 masked open + 6 adder layers +
 //! 1 bit open), 1 edaBit, 12 triple words.
+//!
+//! The batched kernel runs on flat party-major buffers end to end
+//! (edaBit block, flat masked-open payload, [`add_public_block`], flat bit
+//! open); [`less_than_zero_many_scalar`] retains the original per-gate
+//! implementation as the differential/benchmark reference.
 
 // Protocol hot path: a malformed message must become a typed error,
 // never a panic (see fedroad-lint rule `no-panic-hot-path`).
 #![deny(clippy::unwrap_used)]
 
-use crate::binary::{add_public_many, xor_public, ADDER_ROUNDS, ADDER_TRIPLE_WORDS};
-use crate::dealer::Dealer;
+use crate::binary::{
+    add_public_block, add_public_many_scalar, xor_public, ADDER_ROUNDS, ADDER_TRIPLE_WORDS,
+};
+use crate::block::ShareBlock;
+use crate::dealer::DealSource;
 use crate::error::ProtocolError;
 use crate::net::{Mesh, MsgKind};
 
@@ -37,7 +45,7 @@ pub const COMPARE_TRIPLE_WORDS: u64 = ADDER_TRIPLE_WORDS;
 /// `opened_mask` (for the audit's uniformity check).
 pub fn less_than_zero(
     mesh: &mut Mesh,
-    dealer: &mut Dealer,
+    dealer: &mut impl DealSource,
     d_shares: &[u64],
     opened_mask: Option<&mut Vec<u64>>,
 ) -> Result<bool, ProtocolError> {
@@ -50,16 +58,97 @@ pub fn less_than_zero(
 /// the protocol rounds — still [`COMPARE_ROUNDS`] rounds total, with `k×`
 /// the payload per round. This is MP-SPDZ-style vectorization and the
 /// engine of the round-batched priority-queue extension.
+///
+/// An empty batch returns `Ok(vec![])` at zero cost, agreeing with
+/// `add_public_many` (the kernels used to disagree; regression-tested).
+/// Callers that consider an empty batch a caller bug keep rejecting it at
+/// their own boundary (`SacEngine::less_than_many` returns
+/// [`ProtocolError::EmptyBatch`]).
 pub fn less_than_zero_many(
     mesh: &mut Mesh,
-    dealer: &mut Dealer,
+    dealer: &mut impl DealSource,
     d_shares_list: &[Vec<u64>],
     opened_mask: Option<&mut Vec<u64>>,
 ) -> Result<Vec<bool>, ProtocolError> {
     let n = mesh.num_parties();
     let k = d_shares_list.len();
     if k == 0 {
-        return Err(ProtocolError::EmptyBatch);
+        return Ok(Vec::new());
+    }
+    if let Some(d) = d_shares_list.iter().find(|d| d.len() != n) {
+        return Err(ProtocolError::WrongSiloCount {
+            expected: n,
+            got: d.len(),
+        });
+    }
+    let eda = dealer.edabit_block(k);
+
+    // Step 2: open all masked differences in one round, the payload built
+    // flat and party-major straight from the edaBit slab.
+    let mut payload = vec![0u64; n * k];
+    for p in 0..n {
+        let ar = eda.arith.party(p);
+        let row = &mut payload[p * k..(p + 1) * k];
+        for (i, d) in d_shares_list.iter().enumerate() {
+            row[i] = d[p].wrapping_add(ar[i]);
+        }
+    }
+    mesh.broadcast_flat(MsgKind::MaskedOpen, &payload, k);
+    let mut ms = vec![0u64; k];
+    for p in 0..n {
+        let row = &payload[p * k..(p + 1) * k];
+        for (m, &w) in ms.iter_mut().zip(row) {
+            *m = m.wrapping_add(w);
+        }
+    }
+    if let Some(log) = opened_mask {
+        log.extend(&ms);
+    }
+
+    // Step 3: d = m − r = (m + 1) + ¬r (mod 2⁶⁴), all adders sharing
+    // rounds. ¬r is local: party 0 flips its bit shares.
+    let addends: Vec<u64> = ms.iter().map(|m| m.wrapping_add(1)).collect();
+    let mut not_r = eda.bits;
+    for v in not_r.party_mut(0) {
+        *v = !*v;
+    }
+    let mut d_bits = ShareBlock::zeroed(n, k);
+    add_public_block(mesh, dealer, &addends, &not_r, &mut d_bits);
+
+    // Step 4: open only the sign bits, packed into one round.
+    let mut bit_payload = vec![0u64; n * k];
+    for p in 0..n {
+        let br = d_bits.party(p);
+        let row = &mut bit_payload[p * k..(p + 1) * k];
+        for i in 0..k {
+            row[i] = (br[i] >> 63) & 1;
+        }
+    }
+    mesh.broadcast_flat(MsgKind::BitOpen, &bit_payload, k);
+    let mut bits = vec![0u64; k];
+    for p in 0..n {
+        let row = &bit_payload[p * k..(p + 1) * k];
+        for (b, &w) in bits.iter_mut().zip(row) {
+            *b ^= w;
+        }
+    }
+    Ok(bits.into_iter().map(|b| b == 1).collect())
+}
+
+/// Scalar reference implementation of [`less_than_zero_many`]: the original
+/// per-gate `Vec<SharedWord>` protocol, retained for the differential suite
+/// and `compare_bench`. Identical results, accounting, and dealer-stream
+/// consumption (pinned by proptest).
+pub fn less_than_zero_many_scalar(
+    mesh: &mut Mesh,
+    dealer: &mut impl DealSource,
+    d_shares_list: &[Vec<u64>],
+    opened_mask: Option<&mut Vec<u64>>,
+) -> Result<Vec<bool>, ProtocolError> {
+    let n = mesh.num_parties();
+    let k = d_shares_list.len();
+    if k == 0 {
+        return Ok(Vec::new());
     }
     if let Some(d) = d_shares_list.iter().find(|d| d.len() != n) {
         return Err(ProtocolError::WrongSiloCount {
@@ -98,7 +187,7 @@ pub fn less_than_zero_many(
         .zip(&edas)
         .map(|(m, eda)| (m.wrapping_add(1), xor_public(&eda.bits, u64::MAX)))
         .collect();
-    let d_bits = add_public_many(mesh, dealer, &adder_inputs);
+    let d_bits = add_public_many_scalar(mesh, dealer, &adder_inputs);
 
     // Step 4: open only the sign bits, packed into one round.
     let msb_words: Vec<Vec<u64>> = (0..n)
@@ -113,12 +202,15 @@ pub fn less_than_zero_many(
 /// Accounts the exact communication/preprocessing costs of one comparison
 /// without executing it — the `Modeled` backend's counterpart of
 /// [`less_than_zero`]. Keeping the two in lockstep is enforced by test.
-pub fn account_less_than_zero(mesh: &mut Mesh, dealer: &mut Dealer) {
+pub fn account_less_than_zero(mesh: &mut Mesh, dealer: &mut impl DealSource) {
     account_less_than_zero_many(mesh, dealer, 1);
 }
 
 /// Accounting twin of [`less_than_zero_many`] for a batch of `k`.
-pub fn account_less_than_zero_many(mesh: &mut Mesh, dealer: &mut Dealer, k: usize) {
+pub fn account_less_than_zero_many(mesh: &mut Mesh, dealer: &mut impl DealSource, k: usize) {
+    if k == 0 {
+        return;
+    }
     dealer.account(COMPARE_EDABITS * k as u64, 0);
     mesh.account_broadcast(MsgKind::MaskedOpen, k);
     for _ in 0..ADDER_ROUNDS {
@@ -133,7 +225,7 @@ pub fn account_less_than_zero_many(mesh: &mut Mesh, dealer: &mut Dealer, k: usiz
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
-    use crate::dealer::additive_shares;
+    use crate::dealer::{additive_shares, Dealer};
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha12Rng;
 
@@ -202,6 +294,27 @@ mod tests {
         assert_eq!(mesh_r.stats(), mesh_m.stats());
         assert_eq!(dealer_r.stats(), dealer_m.stats());
         assert_eq!(mesh_r.stats().rounds, COMPARE_ROUNDS);
+    }
+
+    #[test]
+    fn empty_batch_is_free_and_agrees_with_the_adder_kernels() {
+        // Satellite regression: this used to be ProtocolError::EmptyBatch
+        // while add_public_many([]) silently returned [] — the batched
+        // kernels now agree (empty in, empty out, zero cost). The engine
+        // boundary still rejects empty Fed-SAC batches as a typed error.
+        let mut mesh = Mesh::new(3);
+        let mut dealer = Dealer::new(3, 2);
+        assert_eq!(
+            less_than_zero_many(&mut mesh, &mut dealer, &[], None),
+            Ok(Vec::new())
+        );
+        assert_eq!(
+            less_than_zero_many_scalar(&mut mesh, &mut dealer, &[], None),
+            Ok(Vec::new())
+        );
+        account_less_than_zero_many(&mut mesh, &mut dealer, 0);
+        assert_eq!(mesh.stats().rounds, 0);
+        assert_eq!(dealer.stats().edabits, 0);
     }
 
     #[test]

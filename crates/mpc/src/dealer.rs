@@ -16,6 +16,7 @@
 //! Offline traffic is accounted separately from the online phase (the
 //! paper's evaluation also reports only online costs for queries).
 
+use crate::block::{EdaBitBlock, ShareBlock, TripleBlock};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
@@ -83,6 +84,11 @@ impl Dealer {
         }
     }
 
+    /// Number of parties this dealer serves.
+    pub fn num_parties(&self) -> usize {
+        self.n
+    }
+
     /// Issues one edaBit.
     pub fn edabit(&mut self) -> EdaBit {
         let r: u64 = self.rng.gen();
@@ -108,6 +114,42 @@ impl Dealer {
         t
     }
 
+    /// Issues `k` edaBits directly into a flat [`EdaBitBlock`].
+    ///
+    /// Draws from the RNG in **exactly** the order `k` scalar
+    /// [`Self::edabit`] calls would (pinned by test), so the blocked fast
+    /// path of the vectorized kernels consumes the same deterministic
+    /// stream as the scalar reference — the property every committed bench
+    /// baseline relies on.
+    pub fn edabit_block(&mut self, k: usize) -> EdaBitBlock {
+        let mut blk = EdaBitBlock::zeroed(self.n, k);
+        for i in 0..k {
+            let r: u64 = self.rng.gen();
+            fill_additive_lane(&mut self.rng, self.n, r, &mut blk.arith, i);
+            fill_xor_lane(&mut self.rng, self.n, r, &mut blk.bits, i);
+        }
+        self.stats.edabits += k as u64;
+        self.stats.bytes += (k as u64) * (self.n as u64) * 16;
+        blk
+    }
+
+    /// Issues `k` packed triple words directly into a flat [`TripleBlock`],
+    /// with the same draw-order guarantee as [`Self::edabit_block`].
+    pub fn triple_block(&mut self, k: usize) -> TripleBlock {
+        let mut blk = TripleBlock::zeroed(self.n, k);
+        for i in 0..k {
+            let a: u64 = self.rng.gen();
+            let b: u64 = self.rng.gen();
+            let c = a & b;
+            fill_xor_lane(&mut self.rng, self.n, a, &mut blk.a, i);
+            fill_xor_lane(&mut self.rng, self.n, b, &mut blk.b, i);
+            fill_xor_lane(&mut self.rng, self.n, c, &mut blk.c, i);
+        }
+        self.stats.triple_words += k as u64;
+        self.stats.bytes += (k as u64) * (self.n as u64) * 24;
+        blk
+    }
+
     /// Accounts the randomness a modeled (non-executing) protocol run would
     /// consume, without generating it.
     pub fn account(&mut self, edabits: u64, triple_words: u64) {
@@ -120,6 +162,111 @@ impl Dealer {
     pub fn stats(&self) -> DealerStats {
         self.stats
     }
+}
+
+/// Any source of correlated randomness the protocol kernels can draw from:
+/// the inline [`Dealer`] (generation on the query critical path) or the
+/// background-replenished [`crate::pool::PooledDealer`]. Every source must
+/// keep a per-seed deterministic issuance order and account consumption
+/// with the same byte formulas, so swapping sources never changes results
+/// or statistics.
+pub trait DealSource {
+    /// Number of parties this source serves.
+    fn num_parties(&self) -> usize;
+    /// Issues one edaBit.
+    fn edabit(&mut self) -> EdaBit;
+    /// Issues one packed triple word.
+    fn triple_word(&mut self) -> TripleWord;
+    /// Accounts modeled (non-generated) consumption; see [`Dealer::account`].
+    fn account(&mut self, edabits: u64, triple_words: u64);
+    /// Consumption statistics so far.
+    fn stats(&self) -> DealerStats;
+
+    /// Issues `k` edaBits as a flat block. The default packs `k` scalar
+    /// issuances, preserving issuance order; sources with a cheaper bulk
+    /// path (the inline dealer's direct slab fill, the pool's single-lock
+    /// drain) override it.
+    fn edabit_block(&mut self, k: usize) -> EdaBitBlock {
+        let n = self.num_parties();
+        let mut blk = EdaBitBlock::zeroed(n, k);
+        for i in 0..k {
+            let e = self.edabit();
+            for p in 0..n {
+                blk.arith.set(p, i, e.arith[p]);
+                blk.bits.set(p, i, e.bits[p]);
+            }
+        }
+        blk
+    }
+
+    /// Issues `k` triple words as a flat block; see [`Self::edabit_block`].
+    fn triple_block(&mut self, k: usize) -> TripleBlock {
+        let n = self.num_parties();
+        let mut blk = TripleBlock::zeroed(n, k);
+        for i in 0..k {
+            let t = self.triple_word();
+            for p in 0..n {
+                blk.a.set(p, i, t.a[p]);
+                blk.b.set(p, i, t.b[p]);
+                blk.c.set(p, i, t.c[p]);
+            }
+        }
+        blk
+    }
+}
+
+impl DealSource for Dealer {
+    fn num_parties(&self) -> usize {
+        Dealer::num_parties(self)
+    }
+    fn edabit(&mut self) -> EdaBit {
+        Dealer::edabit(self)
+    }
+    fn triple_word(&mut self) -> TripleWord {
+        Dealer::triple_word(self)
+    }
+    fn account(&mut self, edabits: u64, triple_words: u64) {
+        Dealer::account(self, edabits, triple_words)
+    }
+    fn stats(&self) -> DealerStats {
+        Dealer::stats(self)
+    }
+    fn edabit_block(&mut self, k: usize) -> EdaBitBlock {
+        Dealer::edabit_block(self, k)
+    }
+    fn triple_block(&mut self, k: usize) -> TripleBlock {
+        Dealer::triple_block(self, k)
+    }
+}
+
+/// Writes `n` additive shares of `value` into lane `lane` of `blk`, drawing
+/// from `rng` in the exact order of [`additive_shares`].
+fn fill_additive_lane(
+    rng: &mut ChaCha12Rng,
+    n: usize,
+    value: u64,
+    blk: &mut ShareBlock,
+    lane: usize,
+) {
+    let mut acc = 0u64;
+    for p in 0..n - 1 {
+        let s: u64 = rng.gen();
+        blk.set(p, lane, s);
+        acc = acc.wrapping_add(s);
+    }
+    blk.set(n - 1, lane, value.wrapping_sub(acc));
+}
+
+/// Writes `n` XOR shares of `value` into lane `lane` of `blk`, drawing from
+/// `rng` in the exact order of [`xor_shares`].
+fn fill_xor_lane(rng: &mut ChaCha12Rng, n: usize, value: u64, blk: &mut ShareBlock, lane: usize) {
+    let mut acc = 0u64;
+    for p in 0..n - 1 {
+        let s: u64 = rng.gen();
+        blk.set(p, lane, s);
+        acc ^= s;
+    }
+    blk.set(n - 1, lane, value ^ acc);
 }
 
 /// Splits `value` into `n` additive shares modulo 2⁶⁴.
@@ -212,6 +359,69 @@ mod tests {
         let mut modeled = Dealer::new(3, 1);
         modeled.account(1, 2);
         assert_eq!(real.stats(), modeled.stats());
+    }
+
+    #[test]
+    fn blocked_issuance_is_bit_identical_to_scalar_issuance() {
+        // Same seed: a block of k items must consume the RNG in exactly
+        // the order of k scalar calls and hand out the same shares — the
+        // determinism every committed bench baseline depends on.
+        for n in [2usize, 3, 5] {
+            let mut scalar = Dealer::new(n, 77);
+            let mut blocked = Dealer::new(n, 77);
+            let eb = blocked.edabit_block(4);
+            for i in 0..4 {
+                let e = scalar.edabit();
+                for p in 0..n {
+                    assert_eq!(eb.arith.get(p, i), e.arith[p]);
+                    assert_eq!(eb.bits.get(p, i), e.bits[p]);
+                }
+            }
+            let tb = blocked.triple_block(3);
+            for i in 0..3 {
+                let t = scalar.triple_word();
+                for p in 0..n {
+                    assert_eq!(tb.a.get(p, i), t.a[p]);
+                    assert_eq!(tb.b.get(p, i), t.b[p]);
+                    assert_eq!(tb.c.get(p, i), t.c[p]);
+                }
+            }
+            assert_eq!(scalar.stats(), blocked.stats());
+            // And the streams stay aligned after mixed issuance.
+            assert_eq!(scalar.edabit().arith, blocked.edabit().arith);
+        }
+    }
+
+    #[test]
+    fn default_trait_block_packing_matches_the_direct_fill() {
+        // The DealSource default implementation (pack scalar draws) and the
+        // Dealer override (direct slab fill) must agree item for item.
+        struct Packed(Dealer);
+        impl DealSource for Packed {
+            fn num_parties(&self) -> usize {
+                self.0.num_parties()
+            }
+            fn edabit(&mut self) -> EdaBit {
+                self.0.edabit()
+            }
+            fn triple_word(&mut self) -> TripleWord {
+                self.0.triple_word()
+            }
+            fn account(&mut self, e: u64, t: u64) {
+                self.0.account(e, t)
+            }
+            fn stats(&self) -> DealerStats {
+                self.0.stats()
+            }
+        }
+        let mut packed = Packed(Dealer::new(3, 123));
+        let mut direct = Dealer::new(3, 123);
+        let (pe, de) = (packed.edabit_block(5), direct.edabit_block(5));
+        assert_eq!(pe.arith.to_words(), de.arith.to_words());
+        assert_eq!(pe.bits.to_words(), de.bits.to_words());
+        let (pt, dt) = (packed.triple_block(2), direct.triple_block(2));
+        assert_eq!(pt.c.to_words(), dt.c.to_words());
+        assert_eq!(packed.stats(), direct.stats());
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   byte/message accounting and the paper's `R·(L + S/B)` time model.
 //! * [`dealer`] — trusted-dealer preprocessing: edaBits and packed binary
 //!   Beaver triples (the Temi offline phase's stand-in).
+//! * [`block`] — flat party-major struct-of-arrays lane buffers
+//!   ([`ShareBlock`]) backing the batched kernels.
+//! * [`pool`] — [`PooledDealer`]: background-replenished preprocessing
+//!   pools that move dealing off the online critical path.
 //! * [`binary`] — XOR-shared word gates; Beaver AND; a Kogge–Stone adder.
 //! * [`compare`] — masked-opening sign extraction (`8` online rounds).
 //! * [`fedsac`] — the [`SacEngine`] with `Real` and
@@ -45,12 +49,14 @@
 
 pub mod audit;
 pub mod binary;
+pub mod block;
 pub mod compare;
 pub mod dealer;
 pub mod error;
 pub mod fedsac;
 pub mod mac;
 pub mod net;
+pub mod pool;
 pub mod scheduler;
 pub mod threaded;
 
@@ -58,8 +64,11 @@ pub use audit::{
     audit_constant_trace, audit_engine, audit_masked_uniformity, trace_profile, AuditError,
     BitReplaySimulator, TraceProfile,
 };
+pub use block::{EdaBitBlock, ShareBlock, TripleBlock};
+pub use dealer::DealSource;
 pub use error::ProtocolError;
 pub use fedsac::{SacBackend, SacEngine, SacStats, Transcript, FEDSAC_ROUNDS};
 pub use net::{Mesh, MsgKind, NetStats, NetworkModel, PartyId};
+pub use pool::{PoolConfig, PoolStats, PooledDealer};
 pub use scheduler::{BatchScheduler, DuelTicket, SacSession, SchedulerStats};
-pub use threaded::{run_comparisons, run_comparisons_with_fault, PartyFault};
+pub use threaded::{run_comparisons, run_comparisons_from, run_comparisons_with_fault, PartyFault};

@@ -144,6 +144,19 @@ impl Mesh {
         (0..self.n).map(|_p| words.to_vec()).collect()
     }
 
+    /// One synchronous broadcast round over a **flat** party-major payload:
+    /// `payload[p * lanes..(p + 1) * lanes]` is what party `p` contributes.
+    /// The lockstep runtime models delivery by letting every recipient read
+    /// the same slab, so — unlike [`Self::broadcast_words`], which clones
+    /// the nested payload once per recipient — this accounts the identical
+    /// round/byte/message costs (one broadcast of width `lanes`) without
+    /// allocating at all. The vectorized share kernels build their payloads
+    /// directly in this shape.
+    pub fn broadcast_flat(&mut self, kind: MsgKind, payload: &[u64], lanes: usize) {
+        debug_assert_eq!(payload.len(), self.n * lanes);
+        self.account_broadcast(kind, lanes);
+    }
+
     /// One synchronous round of point-to-point sends: party `p` sends
     /// `msgs[p][q]` to party `q` (entry `msgs[p][p]` stays local and is not
     /// counted as traffic). Returns `received[q][p]` = what `p` sent to `q`.
@@ -253,6 +266,18 @@ mod tests {
         let recv = mesh.scatter_words(MsgKind::InputShare, &msgs);
         assert_eq!(recv[0], vec![vec![0u64], vec![2]]);
         assert_eq!(recv[1], vec![vec![1u64], vec![3]]);
+    }
+
+    #[test]
+    fn flat_broadcast_accounts_like_the_nested_one() {
+        let mut nested = Mesh::new(3);
+        let words = vec![vec![1u64, 2], vec![3, 4], vec![5, 6]];
+        nested.broadcast_words(MsgKind::TripleOpen, &words);
+
+        let mut flat = Mesh::new(3);
+        flat.broadcast_flat(MsgKind::TripleOpen, &[1, 2, 3, 4, 5, 6], 2);
+        assert_eq!(flat.stats(), nested.stats());
+        assert_eq!(flat.kind_counts(), nested.kind_counts());
     }
 
     #[test]

@@ -1,0 +1,424 @@
+//! Background-replenished preprocessing pools: the offline phase off the
+//! critical path.
+//!
+//! The inline [`Dealer`] generates edaBits and triple words *on* the query
+//! critical path — every comparison pays the ChaCha drawing cost inside the
+//! online round loop. [`PooledDealer`] moves that work to a dedicated
+//! replenisher thread feeding two bounded FIFO pools; the online kernels
+//! then pop pre-generated material under one short lock.
+//!
+//! ## Determinism
+//!
+//! The replenisher owns two private [`Dealer`]s on seed-derived streams
+//! (one per flavor), and it is the only producer, so **the `i`-th edaBit
+//! (resp. triple word) issued by a pool depends only on `(seed, i)`** —
+//! never on the pool capacity, the watermark, refill timing, or consumer
+//! interleaving (pinned by test). Consumption is accounted with the exact
+//! byte formulas of [`Dealer::account`], so an engine on a pooled source
+//! reports the same [`DealerStats`] as one on an inline dealer and every
+//! committed bench baseline stays exact.
+//!
+//! ## Concurrency shape (lint rules R10–R13)
+//!
+//! One mutex guards both deques plus all bookkeeping; two condvars signal
+//! `not_empty` (replenisher → consumer) and `need_refill` (consumer →
+//! replenisher). All waits are in loops re-checking their predicate (R12),
+//! generation happens outside the lock, locks are poison-recovered (the
+//! state is plain data, always consistent), and `Drop` releases the state
+//! lock before joining the replenisher (R11). No atomics are used, so no
+//! `Ordering` subtleties arise (R13).
+
+use crate::block::{EdaBitBlock, TripleBlock};
+use crate::dealer::{DealSource, Dealer, DealerStats, EdaBit, TripleWord};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Stream-domain separators so the two replenisher dealers draw from
+/// distinct, per-flavor deterministic streams.
+const EDA_STREAM: u64 = 0x00E0_AB17_5EED;
+const TRI_STREAM: u64 = 0x0078_1913_5EED;
+
+/// Sizing of the two preprocessing pools.
+///
+/// A comparison consumes 1 edaBit and 12 triple words
+/// ([`crate::compare::COMPARE_TRIPLE_WORDS`]), so the default triple
+/// capacity is 12× the edaBit capacity to drain at matched rates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Maximum edaBits held ready.
+    pub edabit_capacity: usize,
+    /// Refill wakes when the edaBit pool drops to this depth.
+    pub edabit_low: usize,
+    /// Maximum triple words held ready.
+    pub triple_capacity: usize,
+    /// Refill wakes when the triple pool drops to this depth.
+    pub triple_low: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            edabit_capacity: 2048,
+            edabit_low: 512,
+            triple_capacity: 24_576,
+            triple_low: 6_144,
+        }
+    }
+}
+
+/// Live pool telemetry, also exported as `dealer.pool.*` obs metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// edaBits currently ready in the pool.
+    pub edabits_ready: usize,
+    /// Triple words currently ready in the pool.
+    pub triples_ready: usize,
+    /// Completed replenisher refill passes.
+    pub refills: u64,
+    /// Times a consumer found a pool empty and had to block for the
+    /// replenisher (at most one per issuing call).
+    pub stalls: u64,
+}
+
+struct PoolState {
+    edabits: VecDeque<EdaBit>,
+    triples: VecDeque<TripleWord>,
+    stats: DealerStats,
+    refills: u64,
+    stalls: u64,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Replenisher → consumers: material was pushed.
+    not_empty: Condvar,
+    /// Consumers → replenisher: a pool hit its low watermark (or empty).
+    need_refill: Condvar,
+}
+
+fn lock_state(shared: &PoolShared) -> MutexGuard<'_, PoolState> {
+    // Poison recovery: the state is plain data and every critical section
+    // leaves it consistent, so a panicking peer must not wedge the pool.
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A [`DealSource`] backed by bounded pools and a background replenisher
+/// thread. Drop-in for the inline [`Dealer`] in [`crate::fedsac::SacEngine`]
+/// (see `SacEngine::new_pooled`); shuts the replenisher down gracefully on
+/// drop.
+pub struct PooledDealer {
+    n: usize,
+    cfg: PoolConfig,
+    shared: Arc<PoolShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+// Redacted: prints dimensions only, never pooled share words.
+impl std::fmt::Debug for PooledDealer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PooledDealer(<redacted, {} parties>)", self.n)
+    }
+}
+
+impl PooledDealer {
+    /// Spawns the replenisher and returns the pooled source. Pools start
+    /// empty; the replenisher begins filling immediately.
+    pub fn new(n: usize, seed: u64, cfg: PoolConfig) -> Self {
+        assert!(n >= 2);
+        assert!(cfg.edabit_capacity > 0 && cfg.triple_capacity > 0);
+        assert!(cfg.edabit_low < cfg.edabit_capacity && cfg.triple_low < cfg.triple_capacity);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                edabits: VecDeque::with_capacity(cfg.edabit_capacity),
+                triples: VecDeque::with_capacity(cfg.triple_capacity),
+                stats: DealerStats::default(),
+                refills: 0,
+                stalls: 0,
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            need_refill: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("fedroad-dealer-pool".into())
+            .spawn(move || replenisher(thread_shared, n, seed, cfg))
+            .expect("spawn dealer pool replenisher");
+        PooledDealer {
+            n,
+            cfg,
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Current pool depths and refill/stall counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        let st = lock_state(&self.shared);
+        PoolStats {
+            edabits_ready: st.edabits.len(),
+            triples_ready: st.triples.len(),
+            refills: st.refills,
+            stalls: st.stalls,
+        }
+    }
+
+    /// Pops `k` edaBits under one lock, blocking on the replenisher only
+    /// when a pool runs dry. Returns them via `sink(index, item)`.
+    fn drain_edabits(&mut self, k: usize, mut sink: impl FnMut(usize, EdaBit)) {
+        let mut st = lock_state(&self.shared);
+        let mut filled = 0;
+        let mut stalled = false;
+        while filled < k {
+            if let Some(e) = st.edabits.pop_front() {
+                sink(filled, e);
+                filled += 1;
+                continue;
+            }
+            if !stalled {
+                stalled = true;
+                st.stalls += 1;
+                fedroad_obs::counter_add("dealer.pool.stalls", 1);
+            }
+            self.shared.need_refill.notify_one();
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.stats.edabits += k as u64;
+        st.stats.bytes += (k as u64) * (self.n as u64) * 16;
+        if st.edabits.len() <= self.cfg.edabit_low {
+            self.shared.need_refill.notify_one();
+        }
+        fedroad_obs::gauge_set("dealer.pool.edabits", st.edabits.len() as u64);
+    }
+
+    /// Triple-word twin of [`Self::drain_edabits`].
+    fn drain_triples(&mut self, k: usize, mut sink: impl FnMut(usize, TripleWord)) {
+        let mut st = lock_state(&self.shared);
+        let mut filled = 0;
+        let mut stalled = false;
+        while filled < k {
+            if let Some(t) = st.triples.pop_front() {
+                sink(filled, t);
+                filled += 1;
+                continue;
+            }
+            if !stalled {
+                stalled = true;
+                st.stalls += 1;
+                fedroad_obs::counter_add("dealer.pool.stalls", 1);
+            }
+            self.shared.need_refill.notify_one();
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.stats.triple_words += k as u64;
+        st.stats.bytes += (k as u64) * (self.n as u64) * 24;
+        if st.triples.len() <= self.cfg.triple_low {
+            self.shared.need_refill.notify_one();
+        }
+        fedroad_obs::gauge_set("dealer.pool.triples", st.triples.len() as u64);
+    }
+}
+
+impl DealSource for PooledDealer {
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    fn edabit(&mut self) -> EdaBit {
+        let mut out = None;
+        self.drain_edabits(1, |_, e| out = Some(e));
+        out.expect("drain_edabits(1) yields one item")
+    }
+
+    fn triple_word(&mut self) -> TripleWord {
+        let mut out = None;
+        self.drain_triples(1, |_, t| out = Some(t));
+        out.expect("drain_triples(1) yields one item")
+    }
+
+    fn account(&mut self, edabits: u64, triple_words: u64) {
+        let mut st = lock_state(&self.shared);
+        st.stats.edabits += edabits;
+        st.stats.triple_words += triple_words;
+        st.stats.bytes += edabits * (self.n as u64) * 16 + triple_words * (self.n as u64) * 24;
+    }
+
+    fn stats(&self) -> DealerStats {
+        lock_state(&self.shared).stats
+    }
+
+    fn edabit_block(&mut self, k: usize) -> EdaBitBlock {
+        let n = self.n;
+        let mut blk = EdaBitBlock::zeroed(n, k);
+        self.drain_edabits(k, |i, e| {
+            for p in 0..n {
+                blk.arith.set(p, i, e.arith[p]);
+                blk.bits.set(p, i, e.bits[p]);
+            }
+        });
+        blk
+    }
+
+    fn triple_block(&mut self, k: usize) -> TripleBlock {
+        let n = self.n;
+        let mut blk = TripleBlock::zeroed(n, k);
+        self.drain_triples(k, |i, t| {
+            for p in 0..n {
+                blk.a.set(p, i, t.a[p]);
+                blk.b.set(p, i, t.b[p]);
+                blk.c.set(p, i, t.c[p]);
+            }
+        });
+        blk
+    }
+}
+
+impl Drop for PooledDealer {
+    fn drop(&mut self) {
+        {
+            let mut st = lock_state(&self.shared);
+            st.shutdown = true;
+        }
+        // Guard released above: never join while holding the state lock.
+        self.shared.need_refill.notify_all();
+        self.shared.not_empty.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The replenisher loop: sleep until a pool hits its low watermark, top
+/// both pools up to capacity (generating **outside** the lock), repeat
+/// until shutdown. Material generated during a shutdown race is discarded —
+/// safe, because nothing unissued affects the deterministic issuance order.
+fn replenisher(shared: Arc<PoolShared>, n: usize, seed: u64, cfg: PoolConfig) {
+    let mut eda_dealer = Dealer::new(n, seed ^ EDA_STREAM);
+    let mut tri_dealer = Dealer::new(n, seed ^ TRI_STREAM);
+    loop {
+        let (need_e, need_t) = {
+            let mut st = lock_state(&shared);
+            while !st.shutdown
+                && st.edabits.len() > cfg.edabit_low
+                && st.triples.len() > cfg.triple_low
+            {
+                st = shared
+                    .need_refill
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            if st.shutdown {
+                return;
+            }
+            (
+                cfg.edabit_capacity - st.edabits.len(),
+                cfg.triple_capacity - st.triples.len(),
+            )
+        };
+        let new_e: Vec<EdaBit> = (0..need_e).map(|_| eda_dealer.edabit()).collect();
+        let new_t: Vec<TripleWord> = (0..need_t).map(|_| tri_dealer.triple_word()).collect();
+        let mut st = lock_state(&shared);
+        if st.shutdown {
+            // Discard the just-generated batch: it was never issued, so
+            // consumers observed a clean prefix of the deterministic stream.
+            return;
+        }
+        st.edabits.extend(new_e);
+        st.triples.extend(new_t);
+        st.refills += 1;
+        fedroad_obs::counter_add("dealer.pool.refills", 1);
+        fedroad_obs::gauge_set("dealer.pool.edabits", st.edabits.len() as u64);
+        fedroad_obs::gauge_set("dealer.pool.triples", st.triples.len() as u64);
+        drop(st);
+        shared.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::dealer::{reconstruct_additive, reconstruct_xor};
+
+    fn tiny() -> PoolConfig {
+        PoolConfig {
+            edabit_capacity: 8,
+            edabit_low: 2,
+            triple_capacity: 16,
+            triple_low: 4,
+        }
+    }
+
+    #[test]
+    fn pooled_material_is_well_formed() {
+        let mut pool = PooledDealer::new(3, 42, tiny());
+        for _ in 0..40 {
+            let e = pool.edabit();
+            assert_eq!(reconstruct_additive(&e.arith), reconstruct_xor(&e.bits));
+            let t = pool.triple_word();
+            assert_eq!(
+                reconstruct_xor(&t.c),
+                reconstruct_xor(&t.a) & reconstruct_xor(&t.b)
+            );
+        }
+    }
+
+    #[test]
+    fn issuance_is_deterministic_and_config_independent() {
+        // The i-th item depends only on (seed, i): two pools with the same
+        // seed but different capacities/watermarks issue identical streams,
+        // regardless of refill timing.
+        let mut small = PooledDealer::new(3, 7, tiny());
+        let mut big = PooledDealer::new(3, 7, PoolConfig::default());
+        for _ in 0..50 {
+            assert_eq!(small.edabit().arith, big.edabit().arith);
+            let (ts, tb) = (small.triple_word(), big.triple_word());
+            assert_eq!((ts.a, ts.b, ts.c), (tb.a, tb.b, tb.c));
+        }
+        // Blocked issuance continues the same streams.
+        let (bs, bb) = (small.edabit_block(9), big.edabit_block(9));
+        assert_eq!(bs.arith.to_words(), bb.arith.to_words());
+        assert_eq!(bs.bits.to_words(), bb.bits.to_words());
+        let (ts, tb) = (small.triple_block(20), big.triple_block(20));
+        assert_eq!(ts.c.to_words(), tb.c.to_words());
+    }
+
+    #[test]
+    fn consumption_stats_match_the_inline_dealer_formulas() {
+        let mut pool = PooledDealer::new(4, 9, tiny());
+        let mut inline = Dealer::new(4, 9);
+        pool.edabit();
+        pool.triple_block(13);
+        pool.edabit_block(2);
+        inline.edabit();
+        inline.triple_block(13);
+        inline.edabit_block(2);
+        assert_eq!(pool.stats(), inline.stats());
+        // Modeled accounting uses the same formulas too.
+        pool.account(5, 7);
+        inline.account(5, 7);
+        assert_eq!(pool.stats(), inline.stats());
+    }
+
+    #[test]
+    fn stats_and_refills_are_observable() {
+        let mut pool = PooledDealer::new(2, 1, tiny());
+        // Drain beyond one capacity to force at least one refill cycle.
+        for _ in 0..30 {
+            pool.edabit();
+        }
+        let ps = pool.pool_stats();
+        assert!(ps.refills >= 1, "no refill observed: {ps:?}");
+        assert_eq!(pool.stats().edabits, 30);
+    }
+}

@@ -82,7 +82,9 @@ echo "==> cargo test -q"
 cargo test -q
 
 if [ "$FAST" = 1 ]; then
-  echo "==> --fast: skipping bench emission and the obs-diff regression gate"
+  echo "==> --fast: comparison-kernel microbench smoke (quick)"
+  cargo run -q --release -p fedroad-bench --bin compare_bench -- --quick >/dev/null
+  echo "==> --fast: skipping the remaining bench emission and the obs-diff regression gate"
   echo "==> all checks passed (fast)"
   exit 0
 fi
@@ -96,6 +98,9 @@ cargo run -q --release -p fedroad-bench --bin throughput -- --quick >/dev/null
 echo "==> live-traffic update scenario (quick)"
 cargo run -q --release -p fedroad-bench --bin live_traffic -- --quick >/dev/null
 
+echo "==> comparison-kernel microbench (quick)"
+cargo run -q --release -p fedroad-bench --bin compare_bench -- --quick >/dev/null
+
 echo "==> obs-diff regression gate vs committed baselines"
 # Counter-style metrics are deterministic and hard-fail past the threshold;
 # wall-clock and modeled-throughput rows are machine-dependent, so obs-diff
@@ -106,6 +111,8 @@ cargo run -q --release -p fedroad-bench --bin obs_diff -- \
   BENCH_throughput.json results/BENCH_throughput.json
 cargo run -q --release -p fedroad-bench --bin obs_diff -- \
   BENCH_update.json results/BENCH_update.json
+cargo run -q --release -p fedroad-bench --bin obs_diff -- \
+  BENCH_compare.json results/BENCH_compare.json
 
 # Concurrency checks for the threaded protocol runner, the cross-query round
 # scheduler, and the batch executor come in two layers: statically, the
@@ -119,6 +126,8 @@ cargo run -q --release -p fedroad-bench --bin obs_diff -- \
 #     -p fedroad-mpc threaded
 #   cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
 #     -p fedroad-mpc scheduler
+#   cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+#     -p fedroad-mpc --test pool_watchdog
 #   cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
 #     --test batch_equals_sequential --test obs_trace_end_to_end
 #

@@ -100,6 +100,32 @@ fn throughput_coalescing_wins_and_writes_schema_checked_records() {
     );
 }
 
+/// The comparison-kernel microbench must run green in quick mode, keep
+/// its cross-arm consistency asserts (bit-identical results, identical
+/// network traces, identical dealer accounting), and write a
+/// schema-checked `results/BENCH_compare.json`. Speedup thresholds are
+/// deliberately not asserted here: under `cargo test` this builds in the
+/// debug profile, where relative kernel timings are meaningless.
+#[test]
+fn compare_bench_runs_and_writes_schema_checked_records() {
+    let report = fedroad_bench::comparebench::run(true);
+    let path = report.save().expect("save re-validates the written bytes");
+    let text = std::fs::read_to_string(&path).expect("report file exists");
+    let doc = fedroad::core::jsonio::Value::parse(&text).expect("report re-parses");
+    fedroad_bench::comparebench::validate(&doc).expect("report matches its schema");
+
+    assert_eq!(
+        report.rows.len(),
+        fedroad_bench::comparebench::BATCH_SIZES.len()
+    );
+    for row in &report.rows {
+        assert!(row.scalar_cps > 0.0 && row.vectorized_cps > 0.0 && row.pooled_cps > 0.0);
+        assert_eq!(row.comparisons, (row.reps * row.batch) as u64);
+        assert_eq!(row.edabits, row.comparisons);
+        assert_eq!(row.triple_words, row.comparisons * 12);
+    }
+}
+
 /// The live-update acceptance check: customize on congestion waves must
 /// beat a from-scratch rebuild by ≥ 10×, query latency under live epoch
 /// swaps must stay within 2× of quiescent p50, and the written
